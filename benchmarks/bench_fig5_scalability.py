@@ -1,0 +1,109 @@
+"""Figure 5 — RelSim (Algorithm 1) scalability over constraints and
+pattern length.
+
+The paper measures per-query time of simple-pattern RelSim on BioMed
+while varying the number of randomly generated tgd constraints
+(1, 5, 10, 20, 40 — premises of 2-5 atoms, coin-flip label selection)
+and the input pattern length (4..10), averaging 5 runs.
+
+Expected shape: time grows with both axes; the growth over constraints
+is the dominant effect (the paper omits the 40-constraint/length-9 cell
+"due to long running time" — we cap generation, see DESIGN.md).
+"""
+
+import random
+
+from repro.constraints.tgd import Atom, Tgd
+from repro.core import RelSim
+from repro.datasets.schemas import BIOMED_SCHEMA
+from repro.eval import format_table, time_queries
+from repro.lang.ast import Label, Reverse, simple_pattern
+
+CONSTRAINT_COUNTS = (1, 5, 10, 20)
+PATTERN_LENGTHS = (4, 6, 8)
+QUERIES_PER_CELL = 3
+
+
+def random_constraints(count, seed=0):
+    """Acyclic chain-premise tgds with coin-flip labels (Section 7.3)."""
+    rng = random.Random(seed)
+    labels = sorted(BIOMED_SCHEMA.labels)
+    constraints = []
+    for index in range(count):
+        size = rng.randint(2, 5)
+        atoms = []
+        chain_labels = []
+        for position in range(size):
+            name = rng.choice(labels)
+            chain_labels.append(name)
+            pattern = Label(name)
+            if rng.random() < 0.5:
+                pattern = Reverse(pattern)
+            atoms.append(
+                Atom("v{}".format(position), pattern, "v{}".format(position + 1))
+            )
+        # Conclusion uses a premise label so Algorithm 2 has work to do.
+        conclusion = Atom("v0", Label(rng.choice(chain_labels)),
+                          "v{}".format(size))
+        constraints.append(Tgd(atoms, [conclusion]))
+    return constraints
+
+
+def random_simple_pattern(length, seed=0):
+    rng = random.Random(seed)
+    labels = sorted(BIOMED_SCHEMA.labels)
+    steps = [
+        (rng.choice(labels), rng.random() < 0.5) for _ in range(length)
+    ]
+    return simple_pattern(steps)
+
+
+def test_fig5_scalability(benchmark, emit, biomed_bundle):
+    db = biomed_bundle.database
+    queries = list(biomed_bundle.ground_truth)[:QUERIES_PER_CELL]
+
+    def run():
+        cells = {}
+        for num_constraints in CONSTRAINT_COUNTS:
+            constraints = random_constraints(num_constraints, seed=1)
+            for length in PATTERN_LENGTHS:
+                pattern = random_simple_pattern(length, seed=length)
+                relsim = RelSim.from_simple_pattern(
+                    db,
+                    pattern,
+                    constraints=constraints,
+                    scoring="count",
+                    max_patterns=32,
+                )
+                cells[(num_constraints, length)] = time_queries(
+                    relsim, queries
+                )
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["#constraints"] + [
+        "len {}".format(length) for length in PATTERN_LENGTHS
+    ]
+    rows = [
+        [str(n)] + [cells[(n, length)] for length in PATTERN_LENGTHS]
+        for n in CONSTRAINT_COUNTS
+    ]
+    emit(
+        "fig5",
+        format_table(
+            headers,
+            rows,
+            title="Figure 5 - RelSim (Algorithm 1) seconds/query vs "
+            "#constraints x pattern length",
+            float_format="{:.4f}",
+        ),
+    )
+
+    # Shape: more constraints cannot be faster on average.
+    def row_mean(n):
+        return sum(cells[(n, length)] for length in PATTERN_LENGTHS) / len(
+            PATTERN_LENGTHS
+        )
+
+    assert row_mean(CONSTRAINT_COUNTS[-1]) >= row_mean(CONSTRAINT_COUNTS[0]) * 0.5

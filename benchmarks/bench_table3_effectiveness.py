@@ -1,0 +1,73 @@
+"""Table 3 — effectiveness (MRR) on BioMed, original and transformed.
+
+Paper rows: average MRR of RWR, SimRank, HeteSim and RelSim over a
+30-disease drug-relevance workload, on the original BioMed and on BioMed
+under BioMedT.
+
+Expected shape: RelSim >= HeteSim > SimRank > RWR, and RelSim's MRR is
+*identical* on both variants (the paper's .077/.077) while HeteSim's
+drops slightly under the transformation (.077 -> .072 in the paper).
+"""
+
+from repro.core import RelSim
+from repro.eval import EffectivenessExperiment, effectiveness_table
+from repro.lang import parse_pattern
+from repro.similarity import RWR, HeteSim, SimRank
+from repro.transform import EXPERIMENT_PATTERNS, biomedt, map_pattern
+
+
+def test_table3_effectiveness(benchmark, emit, biomed_bundle):
+    mapping = biomedt()
+    spec = EXPERIMENT_PATTERNS["BioMedT"]
+    db = biomed_bundle.database
+    variant = mapping.apply(db)
+    p_src = parse_pattern(spec["relsim_source"])
+    p_tgt = map_pattern(mapping, p_src)
+
+    algorithms = {
+        "RWR": {
+            "original": lambda d: RWR(d, answer_type="drug"),
+            "under BioMedT": lambda d: RWR(d, answer_type="drug"),
+        },
+        "SimRank": {
+            "original": lambda d: SimRank(d, answer_type="drug"),
+            "under BioMedT": lambda d: SimRank(d, answer_type="drug"),
+        },
+        "HeteSim": {
+            "original": lambda d: HeteSim(
+                d, spec["pathsim_source"], answer_type="drug"
+            ),
+            "under BioMedT": lambda d: HeteSim(
+                d, spec["pathsim_target"], answer_type="drug"
+            ),
+        },
+        "RelSim": {
+            "original": lambda d: RelSim(
+                d, p_src, scoring="cosine", answer_type="drug"
+            ),
+            "under BioMedT": lambda d: RelSim(
+                d, p_tgt, scoring="cosine", answer_type="drug"
+            ),
+        },
+    }
+    experiment = EffectivenessExperiment(
+        variants={"original": db, "under BioMedT": variant},
+        algorithms=algorithms,
+        ground_truth=biomed_bundle.ground_truth,
+    )
+
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    emit(
+        "table3",
+        effectiveness_table(
+            result, title="Table 3 - average MRR over BioMed"
+        ),
+    )
+
+    # Shape assertions (see module docstring).
+    original = result.mrrs["original"]
+    transformed = result.mrrs["under BioMedT"]
+    assert original["RelSim"] == transformed["RelSim"]  # robustness
+    assert original["RelSim"] >= original["HeteSim"] - 1e-9
+    assert original["HeteSim"] > original["RWR"]
+    assert original["RelSim"] > original["SimRank"]

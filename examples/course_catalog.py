@@ -1,0 +1,108 @@
+"""Course-catalog integration (the WSU / Alchemy UW-CSE scenario).
+
+Two universities publish course catalogs with the same information in
+different shapes: WSU attaches subjects to *offerings*, Alchemy UW-CSE
+attaches them to *courses*.  A "find similar courses" feature built and
+tuned on one catalog silently degrades on the other — unless the
+similarity algorithm is structurally robust.
+
+This example:
+
+1. generates a WSU-style catalog and transforms it into the Alchemy
+   style (WSUC2ALCH);
+2. verifies the transformation is invertible (no information lost) and
+   that the derived Proposition-1 constraint holds on the source;
+3. compares the top-5 "similar courses" lists of PathSim/RWR/RelSim on
+   both shapes and reports each algorithm's average Kendall tau;
+4. demonstrates Algorithm 1: the user writes the simple WSU-side
+   pattern and the system derives the robust pattern set from the
+   schema constraint.
+
+Run:  python examples/course_catalog.py
+"""
+
+from repro import RWR, PathSim, RelSim, parse_pattern
+from repro.datasets import generate_wsu, sample_queries_by_degree
+from repro.eval import RobustnessExperiment, robustness_table
+from repro.patterns import generate_patterns
+from repro.transform import (
+    map_pattern,
+    verify_derived_constraints,
+    verify_roundtrip,
+    wsuc2alch,
+)
+
+
+def main():
+    bundle = generate_wsu(seed=2)
+    db = bundle.database
+    mapping = wsuc2alch()
+    variant = mapping.apply(db)
+    print("WSU catalog:            ", db)
+    print("Alchemy-style catalog:  ", variant)
+    print()
+
+    # ------------------------------------------------------------------
+    # Information preservation (Section 3).
+    # ------------------------------------------------------------------
+    print("WSUC2ALCH invertible on this catalog: ",
+          verify_roundtrip(mapping, db))
+    print("Proposition-1 derived constraint held:",
+          verify_derived_constraints(mapping, db))
+    print()
+
+    # ------------------------------------------------------------------
+    # Robustness comparison on a degree-weighted course workload.
+    # ------------------------------------------------------------------
+    p_src = parse_pattern("co-.os.os-.co")  # courses sharing subjects
+    p_tgt = map_pattern(mapping, p_src)
+    print("RelSim pattern, WSU side:    ", p_src)
+    print("RelSim pattern, Alchemy side:", p_tgt)
+    print()
+
+    queries = sample_queries_by_degree(db, "course", 40, seed=0)
+    experiment = RobustnessExperiment(
+        db,
+        variant,
+        {
+            "PathSim": (
+                lambda d: PathSim(d, "co-.os.os-.co"),
+                lambda d: PathSim(d, "cs.cs-"),
+            ),
+            "RWR": (lambda d: RWR(d), lambda d: RWR(d)),
+            "RelSim": (
+                lambda d: RelSim(d, p_src),
+                lambda d: RelSim(d, p_tgt),
+            ),
+        },
+        queries=queries,
+        transformation_name="WSUC2ALCH",
+    )
+    print(robustness_table([experiment.run()],
+                           title="Ranking difference across catalogs"))
+    print()
+
+    # ------------------------------------------------------------------
+    # One concrete query, side by side.
+    # ------------------------------------------------------------------
+    query = queries[0]
+    wsu_top = RelSim(db, p_src).rank(query, top_k=5).top()
+    alch_top = RelSim(variant, p_tgt).rank(query, top_k=5).top()
+    print("RelSim top-5 for {} on WSU:    {}".format(query, wsu_top))
+    print("RelSim top-5 for {} on Alchemy:{}".format(query, alch_top))
+    assert wsu_top == alch_top
+    print("=> identical lists on both catalog shapes.")
+    print()
+
+    # ------------------------------------------------------------------
+    # Usability: Algorithm 1 on the schema constraint.
+    # ------------------------------------------------------------------
+    generated = generate_patterns(p_src, db.schema.constraints,
+                                  max_patterns=12)
+    print("Algorithm 1 pattern set for {} (constraint-aware):".format(p_src))
+    for pattern in generated:
+        print("   ", pattern)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Drug repurposing over a biomedical knowledge graph (BioMed scenario).
+
+The paper's motivating NIH use case: rank candidate drugs for a queried
+disease by how strongly they connect through phenotypes and protein
+targets.  The catch: biomedical graphs are routinely restructured — the
+curators here materialize ``indirect-associated-with`` shortcut edges
+(derivable from ``is-parent-of`` plus the direct associations), and a
+later cleanup pass (BioMedT) removes them again.
+
+This example shows:
+
+1. MRR of HeteSim, RWR, SimRank and RelSim against planted expert
+   relevance (the Table-3 experiment);
+2. that RelSim's answers — and therefore its MRR — are bit-identical
+   before and after the BioMedT restructuring, while the baselines move;
+3. the usability layer: the user submits only the *simple* meta-path and
+   Algorithm 1 derives the robust RRE set from the schema's constraints.
+
+Run:  python examples/drug_repurposing.py
+"""
+
+from repro import RWR, HeteSim, RelSim, SimRank, parse_pattern
+from repro.datasets import generate_biomed_small
+from repro.eval import (
+    EffectivenessExperiment,
+    effectiveness_table,
+    mean_reciprocal_rank,
+)
+from repro.transform import EXPERIMENT_PATTERNS, biomedt, map_pattern
+
+
+def main():
+    bundle = generate_biomed_small(seed=0)
+    db = bundle.database
+    print("BioMed:", db)
+    print("Query workload: {} diseases with expert-relevant drugs".format(
+        len(bundle.ground_truth)))
+    print()
+
+    mapping = biomedt()
+    variant = mapping.apply(db)
+    print("After BioMedT (indirect edges dropped):", variant)
+    print()
+
+    spec = EXPERIMENT_PATTERNS["BioMedT"]
+    p_src = parse_pattern(spec["relsim_source"])
+    p_tgt = map_pattern(mapping, p_src)
+    print("Evaluation relationship:  disease -> phenotype -> protein <- drug")
+    print("  original pattern:   ", p_src)
+    print("  translated pattern: ", p_tgt)
+    print()
+
+    # ------------------------------------------------------------------
+    # Table-3-style effectiveness comparison.
+    # ------------------------------------------------------------------
+    algorithms = {
+        "HeteSim": {
+            "original": lambda d: HeteSim(
+                d, spec["pathsim_source"], answer_type="drug"
+            ),
+            "under BioMedT": lambda d: HeteSim(
+                d, spec["pathsim_target"], answer_type="drug"
+            ),
+        },
+        "RWR": {
+            "original": lambda d: RWR(d, answer_type="drug"),
+            "under BioMedT": lambda d: RWR(d, answer_type="drug"),
+        },
+        "SimRank": {
+            "original": lambda d: SimRank(d, answer_type="drug"),
+            "under BioMedT": lambda d: SimRank(d, answer_type="drug"),
+        },
+        "RelSim": {
+            "original": lambda d: RelSim(
+                d, p_src, scoring="cosine", answer_type="drug"
+            ),
+            "under BioMedT": lambda d: RelSim(
+                d, p_tgt, scoring="cosine", answer_type="drug"
+            ),
+        },
+    }
+    result = EffectivenessExperiment(
+        variants={"original": db, "under BioMedT": variant},
+        algorithms=algorithms,
+        ground_truth=bundle.ground_truth,
+    ).run()
+    print(effectiveness_table(result, title="MRR on disease->drug queries"))
+    print()
+
+    # ------------------------------------------------------------------
+    # The usability layer (Section 5): the user supplies only the simple
+    # meta-path; Algorithm 1 consults the schema constraints.
+    # ------------------------------------------------------------------
+    usable = RelSim.from_simple_pattern(
+        db,
+        spec["relsim_source"],
+        scoring="cosine",
+        answer_type="drug",
+    )
+    print("Algorithm 1 expanded the simple input into {} RREs:".format(
+        len(usable.patterns)))
+    for pattern in usable.patterns:
+        print("   ", pattern)
+    rankings = {q: usable.rank(q).top() for q in bundle.ground_truth}
+    print("Aggregated-RelSim MRR: {:.3f}".format(
+        mean_reciprocal_rank(rankings, bundle.ground_truth)))
+    print()
+
+    # ------------------------------------------------------------------
+    # Spot-check a single query.
+    # ------------------------------------------------------------------
+    query = next(iter(bundle.ground_truth))
+    relevant = bundle.ground_truth[query]
+    ranking = RelSim(
+        db, p_src, scoring="cosine", answer_type="drug"
+    ).rank(query, top_k=5)
+    print("Top-5 drugs for {} (expert answer: {}):".format(query, relevant))
+    for position, (drug, score) in enumerate(ranking.items(), start=1):
+        marker = "  <== relevant" if drug == relevant else ""
+        print("  {}. {:<12s} {:.4f}{}".format(position, drug, score, marker))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro — reproduction of "Structural Generalizability: The Case of
+Similarity Search" (SIGMOD 2021).
+
+Public API tour
+---------------
+Build a graph database::
+
+    from repro import GraphDatabase, Schema
+    schema = Schema(["p-in", "r-a"])
+    db = GraphDatabase(schema)
+    db.add_edge("paper:1", "p-in", "VLDB")
+
+Parse and evaluate RRE patterns::
+
+    from repro import parse_pattern, CommutingMatrixEngine
+    engine = CommutingMatrixEngine(db)
+    engine.pathsim_score(parse_pattern("p-in.p-in-"), "paper:1", "paper:2")
+
+Run robust similarity search::
+
+    from repro import RelSim
+    relsim = RelSim(db, "p-in-.r-a.r-a-.p-in")
+    relsim.rank("VLDB", top_k=10)
+
+Transform a database and carry the pattern across::
+
+    from repro.transform import dblp2sigm, map_pattern
+    mapping = dblp2sigm()
+    variant = mapping.apply(db)
+    translated = map_pattern(mapping, relsim.patterns[0])
+"""
+
+from repro.constraints import Atom, Egd, Tgd, parse_tgd, satisfies
+from repro.core import RelSim
+from repro.exceptions import (
+    AsymmetricPatternError,
+    ConstraintError,
+    CyclicPremiseError,
+    EvaluationError,
+    NotInvertibleError,
+    PatternSyntaxError,
+    ReproError,
+    SchemaError,
+    StarDivergenceError,
+    TransformationError,
+    UnknownLabelError,
+    UnknownNodeError,
+)
+from repro.graph import GraphDatabase, MatrixView, NodeIndexer, Schema
+from repro.lang import (
+    CommutingMatrixEngine,
+    enumerate_instances,
+    parse_pattern,
+    simple_pattern,
+)
+from repro.patterns import generate_patterns
+from repro.similarity import (
+    RWR,
+    HeteSim,
+    PathSim,
+    PatternRWR,
+    PatternSimRank,
+    Ranking,
+    SimRank,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "AsymmetricPatternError",
+    "CommutingMatrixEngine",
+    "ConstraintError",
+    "CyclicPremiseError",
+    "Egd",
+    "EvaluationError",
+    "GraphDatabase",
+    "HeteSim",
+    "MatrixView",
+    "NodeIndexer",
+    "NotInvertibleError",
+    "PathSim",
+    "PatternRWR",
+    "PatternSimRank",
+    "PatternSyntaxError",
+    "RWR",
+    "Ranking",
+    "RelSim",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SimRank",
+    "StarDivergenceError",
+    "Tgd",
+    "TransformationError",
+    "UnknownLabelError",
+    "UnknownNodeError",
+    "enumerate_instances",
+    "generate_patterns",
+    "parse_pattern",
+    "parse_tgd",
+    "satisfies",
+    "simple_pattern",
+]

@@ -1,0 +1,269 @@
+"""Command-line interface for the repro library.
+
+Subcommands mirror the research workflow::
+
+    repro generate --dataset dblp --out db.json          # synthesize data
+    repro stats db.json                                  # describe it
+    repro query db.json --pattern "r-a-.r-a" --node X    # similarity search
+    repro transform db.json --mapping dblp2sigm --out t.json
+    repro patterns db.json --pattern "r-a-.r-a"          # Algorithm 1
+    repro robustness --dataset dblp --mapping dblp2sigm  # mini Table 1
+
+Entry points: ``python -m repro.cli ...`` or :func:`main` for tests.
+"""
+
+import argparse
+import sys
+
+from repro.core import RelSim
+from repro.datasets import (
+    generate_biomed_small,
+    generate_dblp,
+    generate_dblp_small,
+    generate_mas,
+    generate_wsu,
+    sample_queries_by_degree,
+)
+from repro.eval import RobustnessExperiment, robustness_table
+from repro.exceptions import ReproError
+from repro.graph.io import load_json, save_json
+from repro.graph.statistics import summarize
+from repro.lang import parse_pattern
+from repro.patterns import generate_patterns
+from repro.similarity import RWR, PathSim
+from repro.transform import (
+    EXPERIMENT_PATTERNS,
+    biomedt,
+    dblp2sigm,
+    dblp2sigmx,
+    map_pattern,
+    wsuc2alch,
+)
+
+_DATASETS = {
+    "dblp": generate_dblp,
+    "dblp-small": generate_dblp_small,
+    "wsu": generate_wsu,
+    "biomed": generate_biomed_small,
+    "mas": generate_mas,
+}
+
+_MAPPINGS = {
+    "dblp2sigm": dblp2sigm,
+    "dblp2sigmx": dblp2sigmx,
+    "wsuc2alch": wsuc2alch,
+    "biomedt": biomedt,
+}
+
+_MAPPING_SPECS = {
+    "dblp2sigm": "DBLP2SIGM",
+    "dblp2sigmx": "DBLP2SIGM",
+    "wsuc2alch": "WSUC2ALCH",
+    "biomedt": "BioMedT",
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Structurally robust graph similarity search (RelSim).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="synthesize a dataset")
+    generate.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output JSON path")
+
+    stats = sub.add_parser("stats", help="describe a database")
+    stats.add_argument("database", help="JSON database path")
+
+    query = sub.add_parser("query", help="similarity search")
+    query.add_argument("database")
+    query.add_argument("--pattern", required=True, help="RRE pattern")
+    query.add_argument("--node", required=True, help="query node id")
+    query.add_argument("--top", type=int, default=10)
+    query.add_argument(
+        "--scoring", choices=("pathsim", "count", "cosine"), default="pathsim"
+    )
+    query.add_argument(
+        "--answer-type", default=None, help="restrict answers to a node type"
+    )
+
+    transform = sub.add_parser("transform", help="apply a catalog mapping")
+    transform.add_argument("database")
+    transform.add_argument("--mapping", choices=sorted(_MAPPINGS), required=True)
+    transform.add_argument("--out", required=True)
+
+    patterns = sub.add_parser(
+        "patterns", help="run Algorithm 1 on a simple pattern"
+    )
+    patterns.add_argument("database")
+    patterns.add_argument("--pattern", required=True)
+    patterns.add_argument("--max", type=int, default=16)
+    patterns.add_argument(
+        "--no-filters",
+        action="store_true",
+        help="disable the Section-6 optimizations",
+    )
+
+    robustness = sub.add_parser(
+        "robustness", help="mini robustness experiment (Table-1 style)"
+    )
+    robustness.add_argument("--dataset", choices=sorted(_DATASETS), default="dblp-small")
+    robustness.add_argument("--mapping", choices=sorted(_MAPPINGS), default="dblp2sigm")
+    robustness.add_argument("--queries", type=int, default=20)
+    robustness.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args, out):
+    bundle = _DATASETS[args.dataset](seed=args.seed)
+    save_json(bundle.database, args.out)
+    print(
+        "wrote {} ({} nodes, {} edges)".format(
+            args.out,
+            bundle.database.num_nodes(),
+            bundle.database.num_edges(),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_stats(args, out):
+    database = load_json(args.database)
+    print(summarize(database, name=args.database), file=out)
+    return 0
+
+
+def _cmd_query(args, out):
+    database = load_json(args.database)
+    relsim = RelSim(
+        database,
+        parse_pattern(args.pattern),
+        scoring=args.scoring,
+        answer_type=args.answer_type,
+    )
+    ranking = relsim.rank(args.node, top_k=args.top)
+    for position, (node, score) in enumerate(ranking.items(), start=1):
+        print("{:>3}. {:<30s} {:.6f}".format(position, node, score), file=out)
+    if not len(ranking):
+        print("(no similar nodes found)", file=out)
+    return 0
+
+
+def _cmd_transform(args, out):
+    database = load_json(args.database)
+    mapping = _MAPPINGS[args.mapping]()
+    transformed = mapping.apply(database)
+    save_json(transformed, args.out)
+    print(
+        "applied {}: {} -> {} ({} nodes, {} edges)".format(
+            mapping.name,
+            args.database,
+            args.out,
+            transformed.num_nodes(),
+            transformed.num_edges(),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_patterns(args, out):
+    database = load_json(args.database)
+    result = generate_patterns(
+        args.pattern,
+        database.schema.constraints,
+        use_filters=not args.no_filters,
+        max_patterns=args.max,
+    )
+    print(
+        "E_p ({} patterns, {} constraints used{}):".format(
+            len(result),
+            result.constraints_used,
+            ", truncated" if result.truncated else "",
+        ),
+        file=out,
+    )
+    for pattern in result:
+        print("  {}".format(pattern), file=out)
+    return 0
+
+
+def _cmd_robustness(args, out):
+    bundle = _DATASETS[args.dataset](seed=args.seed)
+    database = bundle.database
+    mapping = _MAPPINGS[args.mapping]()
+    spec = EXPERIMENT_PATTERNS[_MAPPING_SPECS[args.mapping]]
+    variant = mapping.apply(database)
+    p_src = parse_pattern(spec["relsim_source"])
+    p_tgt = map_pattern(mapping, p_src)
+    queries = sample_queries_by_degree(
+        database, spec["query_type"], args.queries, seed=args.seed
+    )
+    # Asymmetric relationships (e.g. disease -> drug) need a scoring
+    # whose denominator is not a round-trip count; see RelSim docs.
+    asymmetric = spec["answer_type"] != spec["query_type"]
+    scoring = "cosine" if asymmetric else "pathsim"
+    answer_type = spec["answer_type"] if asymmetric else None
+    experiment = RobustnessExperiment(
+        database,
+        variant,
+        {
+            "RelSim": (
+                lambda d: RelSim(
+                    d, p_src, scoring=scoring, answer_type=answer_type
+                ),
+                lambda d: RelSim(
+                    d, p_tgt, scoring=scoring, answer_type=answer_type
+                ),
+            ),
+            "PathSim": (
+                lambda d: PathSim(
+                    d, spec["pathsim_source"], answer_type=answer_type
+                ),
+                lambda d: PathSim(
+                    d, spec["pathsim_target"], answer_type=answer_type
+                ),
+            ),
+            "RWR": (
+                lambda d: RWR(d, answer_type=answer_type),
+                lambda d: RWR(d, answer_type=answer_type),
+            ),
+        },
+        queries=queries,
+        transformation_name=mapping.name,
+    )
+    print(robustness_table([experiment.run()]), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "query": _cmd_query,
+    "transform": _cmd_transform,
+    "patterns": _cmd_patterns,
+    "robustness": _cmd_robustness,
+}
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Database constraints: tgds/egds, premise graphs, and satisfaction."""
+
+from repro.constraints.evaluation import (
+    match_conjunctive,
+    rpq_boolean_matrix,
+    rpq_pairs,
+    satisfies,
+    violating_matches,
+)
+from repro.constraints.premise_graph import PremiseGraph, normalize_atoms
+from repro.constraints.tgd import Atom, Egd, Tgd, parse_tgd
+
+__all__ = [
+    "Atom",
+    "Egd",
+    "PremiseGraph",
+    "Tgd",
+    "match_conjunctive",
+    "normalize_atoms",
+    "parse_tgd",
+    "rpq_boolean_matrix",
+    "rpq_pairs",
+    "satisfies",
+    "violating_matches",
+]

@@ -1,0 +1,221 @@
+"""Evaluating RPQs, conjunctive RPQs, and constraint satisfaction.
+
+The paper evaluates premises of tgds — conjunctive RPQs — over a graph
+database.  Two layers:
+
+* :func:`rpq_pairs` — the binary relation ``[[p]]_D`` for a single RPQ
+  (boolean reachability; Kleene star handled by transitive-closure
+  fixpoint, which always terminates, unlike counting semantics).
+* :func:`match_conjunctive` — all premise matches of a set of atoms, via
+  hash joins over the atom relations, optionally seeded with an initial
+  partial binding.
+
+On top of those, :func:`satisfies` checks ``D |= tgd`` (and egds).
+"""
+
+import scipy.sparse as sp
+
+from repro.exceptions import ConstraintError
+from repro.graph.matrices import MatrixView, boolean
+from repro.lang.ast import (
+    Concat,
+    Conj,
+    Epsilon,
+    Label,
+    Nested,
+    Reverse,
+    Skip,
+    Star,
+    Union,
+)
+
+
+def rpq_boolean_matrix(view, pattern):
+    """The 0/1 reachability matrix of ``pattern`` over a matrix view.
+
+    Works for the full RRE syntax: skip is already boolean, nested
+    projects onto the diagonal, and star is a transitive-closure fixpoint
+    (terminates on any graph because the matrices are boolean).
+    """
+    if isinstance(pattern, Epsilon):
+        return view.identity()
+    if isinstance(pattern, Label):
+        return boolean(view.adjacency(pattern.name))
+    if isinstance(pattern, Reverse):
+        return rpq_boolean_matrix(view, pattern.operand).T.tocsr()
+    if isinstance(pattern, Concat):
+        product = rpq_boolean_matrix(view, pattern.parts[0])
+        for part in pattern.parts[1:]:
+            product = boolean(product @ rpq_boolean_matrix(view, part))
+        return product
+    if isinstance(pattern, Union):
+        total = rpq_boolean_matrix(view, pattern.parts[0])
+        for part in pattern.parts[1:]:
+            total = boolean(total + rpq_boolean_matrix(view, part))
+        return total
+    if isinstance(pattern, Skip):
+        return rpq_boolean_matrix(view, pattern.operand)
+    if isinstance(pattern, Nested):
+        inner = rpq_boolean_matrix(view, pattern.operand)
+        diagonal = inner.max(axis=1).toarray().ravel()
+        return sp.diags((diagonal > 0).astype(float), format="csr")
+    if isinstance(pattern, Conj):
+        product = rpq_boolean_matrix(view, pattern.parts[0])
+        for part in pattern.parts[1:]:
+            product = product.multiply(rpq_boolean_matrix(view, part))
+        return boolean(product)
+    if isinstance(pattern, Star):
+        base = rpq_boolean_matrix(view, pattern.operand)
+        closure = boolean(view.identity() + base)
+        while True:
+            squared = boolean(closure @ closure)
+            if squared.nnz == closure.nnz and (squared != closure).nnz == 0:
+                return closure
+            closure = squared
+    raise TypeError("unhandled pattern node {!r}".format(pattern))
+
+
+def rpq_pairs(database_or_view, pattern):
+    """``[[pattern]]_D`` as a set of ``(u, v)`` node-id pairs."""
+    view = _as_view(database_or_view)
+    matrix = rpq_boolean_matrix(view, pattern).tocoo()
+    indexer = view.indexer
+    return {
+        (indexer.node_at(i), indexer.node_at(j))
+        for i, j in zip(matrix.row, matrix.col)
+    }
+
+
+def _as_view(database_or_view):
+    if isinstance(database_or_view, MatrixView):
+        return database_or_view
+    return MatrixView(database_or_view)
+
+
+def match_conjunctive(database_or_view, atoms, initial=None):
+    """All variable bindings satisfying every atom simultaneously.
+
+    Parameters
+    ----------
+    atoms:
+        Iterable of :class:`repro.constraints.tgd.Atom`.
+    initial:
+        Optional partial binding ``{variable: node_id}`` that every
+        returned binding must extend.  Used to check tgd conclusions for a
+        given premise match without textual variable renaming.
+
+    Returns
+    -------
+    list of dict
+        Each dict maps every atom variable (plus the ``initial`` keys) to
+        a node id.  When ``atoms`` is empty the result is ``[initial]``.
+    """
+    view = _as_view(database_or_view)
+    atoms = list(atoms)
+    seed = dict(initial or {})
+    if not atoms:
+        return [seed]
+
+    relations = [rpq_pairs(view, atom.pattern) for atom in atoms]
+
+    # Greedy join order: start with the smallest relation among atoms that
+    # touch already-bound variables (or the globally smallest when nothing
+    # is bound yet), to keep intermediate results small.
+    remaining = list(range(len(atoms)))
+    bound = set(seed)
+    order = []
+    while remaining:
+        connected = [i for i in remaining if atoms[i].variables() & bound]
+        pool = connected or remaining
+        chosen = min(pool, key=lambda i: len(relations[i]))
+        remaining.remove(chosen)
+        order.append(chosen)
+        bound |= atoms[chosen].variables()
+
+    bindings = [seed]
+    for index in order:
+        bindings = _join_atom(bindings, atoms[index], relations[index])
+        if not bindings:
+            return []
+    return bindings
+
+
+def _join_atom(bindings, atom, pairs):
+    """Extend each binding with matches of one atom (hash join)."""
+    by_source = {}
+    by_target = {}
+    for u, v in pairs:
+        by_source.setdefault(u, []).append(v)
+        by_target.setdefault(v, []).append(u)
+
+    result = []
+    for binding in bindings:
+        source_bound = atom.source in binding
+        target_bound = atom.target in binding
+        if source_bound and target_bound:
+            if (binding[atom.source], binding[atom.target]) in pairs:
+                result.append(binding)
+        elif source_bound:
+            for v in by_source.get(binding[atom.source], ()):
+                if atom.source == atom.target and v != binding[atom.source]:
+                    continue
+                extended = dict(binding)
+                extended[atom.target] = v
+                result.append(extended)
+        elif target_bound:
+            for u in by_target.get(binding[atom.target], ()):
+                extended = dict(binding)
+                extended[atom.source] = u
+                result.append(extended)
+        else:
+            for u, v in pairs:
+                if atom.source == atom.target and u != v:
+                    continue
+                extended = dict(binding)
+                extended[atom.source] = u
+                extended[atom.target] = v
+                result.append(extended)
+    return result
+
+
+def satisfies(database_or_view, constraint):
+    """``D |= constraint`` for a :class:`Tgd` or :class:`Egd`.
+
+    For a tgd: every premise match must extend to a conclusion match
+    (existential conclusion variables may bind to any node).  For an egd:
+    every premise match must bind its two equated variables to the same
+    node.
+    """
+    from repro.constraints.tgd import Egd, Tgd
+
+    if not isinstance(constraint, (Tgd, Egd)):
+        raise ConstraintError(
+            "cannot check satisfaction of {!r}".format(constraint)
+        )
+    view = _as_view(database_or_view)
+    matches = match_conjunctive(view, constraint.premise)
+    if isinstance(constraint, Egd):
+        return all(
+            binding[constraint.left] == binding[constraint.right]
+            for binding in matches
+        )
+    shared = constraint.premise_variables() & constraint.conclusion_variables()
+    for binding in matches:
+        seed = {v: binding[v] for v in shared}
+        if not match_conjunctive(view, constraint.conclusion, initial=seed):
+            return False
+    return True
+
+
+def violating_matches(database_or_view, tgd, limit=None):
+    """Premise matches of a tgd whose conclusion fails (for diagnostics)."""
+    view = _as_view(database_or_view)
+    shared = tgd.premise_variables() & tgd.conclusion_variables()
+    violations = []
+    for binding in match_conjunctive(view, tgd.premise):
+        seed = {v: binding[v] for v in shared}
+        if not match_conjunctive(view, tgd.conclusion, initial=seed):
+            violations.append(binding)
+            if limit is not None and len(violations) >= limit:
+                break
+    return violations

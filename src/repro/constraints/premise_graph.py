@@ -1,0 +1,211 @@
+"""Premise graphs of constraints (Section 5 of the paper).
+
+The premise graph ``G_pre(gamma)`` of a constraint ``gamma`` is a directed
+graph whose nodes are the premise variables and whose edges carry the RPQ
+pattern between each pair of variables.  Composite atoms — whose pattern
+is a concatenation — are first normalized apart with fresh variables, as
+the paper prescribes.
+
+Algorithm 2 traverses premise graphs, so this module also provides the
+traversal primitives: acyclicity checking, path finding between two
+variables, and the branch decomposition used to build nested patterns.
+"""
+
+from collections import defaultdict
+
+from repro.exceptions import CyclicPremiseError
+from repro.lang.ast import Concat, Label, Reverse, concat
+
+
+def normalize_atoms(atoms):
+    """Split concatenated atom patterns apart using fresh variables.
+
+    ``(x, a.b, y)`` becomes ``(x, a, f0) & (f0, b, y)``.  Reverse of a
+    concatenation is pushed inward first so that every resulting edge
+    carries a single (possibly reversed) label or other atomic RPQ.
+    """
+    result = []
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        return "_f{}".format(counter[0])
+
+    def split(source, pattern, target):
+        if isinstance(pattern, Reverse) and isinstance(
+            pattern.operand, Concat
+        ):
+            split(target, pattern.operand, source)
+            return
+        if isinstance(pattern, Concat):
+            current = source
+            parts = pattern.parts
+            for i, part in enumerate(parts):
+                nxt = target if i == len(parts) - 1 else fresh()
+                split(current, part, nxt)
+                current = nxt
+            return
+        result.append((source, pattern, target))
+
+    for atom in atoms:
+        split(atom.source, atom.pattern, atom.target)
+    return result
+
+
+class PremiseGraph:
+    """The premise graph of a tgd, with traversal helpers.
+
+    Edges are stored as ``(source_var, pattern, target_var)`` triples with
+    a stable integer id so traversals can mark edges visited.
+    """
+
+    def __init__(self, tgd):
+        self.tgd = tgd
+        self._edges = []
+        self._adjacent = defaultdict(list)  # var -> [(edge_id, other, fwd)]
+        for source, pattern, target in normalize_atoms(tgd.premise):
+            edge_id = len(self._edges)
+            self._edges.append((source, pattern, target))
+            self._adjacent[source].append((edge_id, target, True))
+            self._adjacent[target].append((edge_id, source, False))
+
+    @property
+    def variables(self):
+        return set(self._adjacent)
+
+    @property
+    def edges(self):
+        return list(self._edges)
+
+    def degree(self, variable):
+        return len(self._adjacent[variable])
+
+    def neighbors(self, variable):
+        """``[(edge_id, other_variable, forward?)]`` around ``variable``."""
+        return list(self._adjacent[variable])
+
+    def edge_pattern(self, edge_id, forward):
+        """The pattern of an edge when traversed in a given direction."""
+        _, pattern, _ = self._edges[edge_id]
+        return pattern if forward else pattern.reverse()
+
+    # ------------------------------------------------------------------
+    # Structure checks
+    # ------------------------------------------------------------------
+    def is_acyclic(self):
+        """True when the underlying undirected graph has no cycle.
+
+        Parallel edges between the same pair of variables count as a
+        cycle, matching the paper's definition via the multigraph
+        ``G_gamma``.
+        """
+        parent = {v: v for v in self._adjacent}
+
+        def find(v):
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for source, _, target in self._edges:
+            if source == target:
+                return False
+            root_s, root_t = find(source), find(target)
+            if root_s == root_t:
+                return False
+            parent[root_s] = root_t
+        return True
+
+    def require_acyclic(self):
+        if not self.is_acyclic():
+            raise CyclicPremiseError(self.tgd)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def find_path(self, start, goal):
+        """The unique undirected path between two variables (acyclic graph).
+
+        Returns a list of ``(edge_id, forward)`` steps, or ``None`` when
+        the variables are disconnected.  ``start == goal`` yields ``[]``.
+        """
+        if start not in self._adjacent or goal not in self._adjacent:
+            return None
+        if start == goal:
+            return []
+        visited = {start}
+        stack = [(start, [])]
+        while stack:
+            variable, path = stack.pop()
+            for edge_id, other, forward in self._adjacent[variable]:
+                if other in visited:
+                    continue
+                next_path = path + [(edge_id, forward)]
+                if other == goal:
+                    return next_path
+                visited.add(other)
+                stack.append((other, next_path))
+        return None
+
+    def path_pattern(self, steps):
+        """Concatenate the step patterns of a traversal into one RRE."""
+        return concat(*[self.edge_pattern(e, fwd) for e, fwd in steps])
+
+    def match_simple_pattern(self, steps):
+        """All ``(start_var, end_var)`` pairs whose premise-graph path
+        spells exactly the given simple-pattern steps.
+
+        Parameters
+        ----------
+        steps:
+            ``[(label, reversed), ...]`` as produced by
+            :func:`repro.lang.ast.simple_steps`.
+
+        Only single-label premise edges participate; an edge traversed
+        forward matches ``(label, False)`` and backward ``(label, True)``
+        (and symmetrically for premise edges that are reversed labels).
+        """
+        matches = []
+        for variable in self._adjacent:
+            for end, _path in self.walk_matches(variable, steps):
+                matches.append((variable, end))
+        return matches
+
+    def walk_matches(self, start, steps):
+        """DFS yielding ``(end_var, [(edge_id, fwd)])`` spelling ``steps``."""
+        results = []
+
+        def step_matches(edge_id, forward, wanted_label, wanted_reversed):
+            pattern = self.edge_pattern(edge_id, forward)
+            if isinstance(pattern, Label):
+                return pattern.name == wanted_label and not wanted_reversed
+            if isinstance(pattern, Reverse) and isinstance(
+                pattern.operand, Label
+            ):
+                return (
+                    pattern.operand.name == wanted_label and wanted_reversed
+                )
+            return False
+
+        def walk(variable, index, used, path):
+            if index == len(steps):
+                results.append((variable, list(path)))
+                return
+            wanted_label, wanted_reversed = steps[index]
+            for edge_id, other, forward in self._adjacent[variable]:
+                if edge_id in used:
+                    continue
+                if step_matches(edge_id, forward, wanted_label, wanted_reversed):
+                    used.add(edge_id)
+                    path.append((edge_id, forward))
+                    walk(other, index + 1, used, path)
+                    path.pop()
+                    used.discard(edge_id)
+
+        walk(start, 0, set(), [])
+        return results
+
+    def __repr__(self):
+        return "PremiseGraph(variables={}, edges={})".format(
+            len(self._adjacent), len(self._edges)
+        )

@@ -1,0 +1,272 @@
+"""Tuple- and equality-generating dependencies over graph schemas.
+
+A tgd (Section 2) has the form ``forall x. phi(x) -> exists y. psi(x, y)``
+where ``phi`` and ``psi`` are conjunctive RPQs — conjunctions of *atoms*
+``(z_i, p_i, z_i')`` with ``p_i`` an RPQ and ``z`` variables.  A *full*
+tgd has no existential variable in the conclusion.
+
+Concrete syntax (used by :func:`parse_tgd` and ``str()``)::
+
+    (x1, area, x3) & (x3, pub-in, x4) & (x2, pub-in, x4) -> (x1, area, x2)
+
+Variables are identifiers; anything not bound in the premise is implicitly
+existential in the conclusion.  An egd's conclusion is an equality
+``x1 = x2`` instead of an atom.
+"""
+
+import re
+
+from repro.exceptions import ConstraintError
+from repro.lang.ast import Pattern
+from repro.lang.parser import parse_pattern
+
+
+class Atom:
+    """A CRPQ atom ``(source_var, pattern, target_var)``."""
+
+    __slots__ = ("source", "pattern", "target")
+
+    def __init__(self, source, pattern, target):
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern)
+        if not isinstance(pattern, Pattern):
+            raise ConstraintError(
+                "atom pattern must be a Pattern or string, got {!r}".format(
+                    pattern
+                )
+            )
+        self.source = source
+        self.pattern = pattern
+        self.target = target
+
+    def variables(self):
+        return {self.source, self.target}
+
+    def labels(self):
+        return self.pattern.labels()
+
+    def rename(self, mapping):
+        """A copy with variables substituted via ``mapping`` (partial ok)."""
+        return Atom(
+            mapping.get(self.source, self.source),
+            self.pattern,
+            mapping.get(self.target, self.target),
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (
+            self.source == other.source
+            and self.pattern == other.pattern
+            and self.target == other.target
+        )
+
+    def __hash__(self):
+        return hash((self.source, self.pattern, self.target))
+
+    def __str__(self):
+        return "({}, {}, {})".format(self.source, self.pattern, self.target)
+
+    def __repr__(self):
+        return "Atom({!r}, {!r}, {!r})".format(
+            self.source, str(self.pattern), self.target
+        )
+
+
+class Tgd:
+    """A tuple-generating dependency ``premise -> conclusion``.
+
+    Parameters
+    ----------
+    premise:
+        Iterable of :class:`Atom`.
+    conclusion:
+        Iterable of :class:`Atom` (usually a single atom for the
+        constraints induced by invertible transformations; see
+        Section 3.2.2).
+    """
+
+    def __init__(self, premise, conclusion):
+        self.premise = tuple(premise)
+        self.conclusion = tuple(conclusion)
+        if not self.premise:
+            raise ConstraintError("tgd premise must not be empty")
+        if not self.conclusion:
+            raise ConstraintError("tgd conclusion must not be empty")
+
+    # -- vocabulary ----------------------------------------------------
+    def premise_variables(self):
+        variables = set()
+        for atom in self.premise:
+            variables |= atom.variables()
+        return variables
+
+    def conclusion_variables(self):
+        variables = set()
+        for atom in self.conclusion:
+            variables |= atom.variables()
+        return variables
+
+    def existential_variables(self):
+        """Conclusion variables not bound by the premise."""
+        return self.conclusion_variables() - self.premise_variables()
+
+    def is_full(self):
+        """Full tgds have no existential conclusion variables."""
+        return not self.existential_variables()
+
+    def labels(self):
+        found = set()
+        for atom in self.premise + self.conclusion:
+            found |= atom.labels()
+        return found
+
+    def premise_labels(self):
+        found = set()
+        for atom in self.premise:
+            found |= atom.labels()
+        return found
+
+    def conclusion_labels(self):
+        found = set()
+        for atom in self.conclusion:
+            found |= atom.labels()
+        return found
+
+    # -- analysis --------------------------------------------------------
+    def is_trivial(self):
+        """Trivial constraints restrict nothing (Section 6.1).
+
+        We use the syntactic criterion: every conclusion atom already
+        appears in the premise (so premise logically implies conclusion for
+        free).  This covers ``phi -> phi`` and copy rules like
+        ``(x, a, y) -> (x, a, y)``.
+        """
+        premise_atoms = set(self.premise)
+        return all(atom in premise_atoms for atom in self.conclusion)
+
+    def __eq__(self, other):
+        if not isinstance(other, Tgd):
+            return NotImplemented
+        return (
+            self.premise == other.premise
+            and self.conclusion == other.conclusion
+        )
+
+    def __hash__(self):
+        return hash((self.premise, self.conclusion))
+
+    def __str__(self):
+        return "{} -> {}".format(
+            " & ".join(str(atom) for atom in self.premise),
+            " & ".join(str(atom) for atom in self.conclusion),
+        )
+
+    def __repr__(self):
+        return "Tgd({!r})".format(str(self))
+
+
+class Egd:
+    """An equality-generating dependency ``premise -> x1 = x2``.
+
+    Egds are part of the formal framework (Section 2) but the paper's
+    algorithms only consume tgds; we support parsing/printing/satisfaction
+    so constraint sets can be stored faithfully.
+    """
+
+    def __init__(self, premise, left, right):
+        self.premise = tuple(premise)
+        self.left = left
+        self.right = right
+        if not self.premise:
+            raise ConstraintError("egd premise must not be empty")
+        variables = set()
+        for atom in self.premise:
+            variables |= atom.variables()
+        if left not in variables or right not in variables:
+            raise ConstraintError(
+                "egd equality variables must appear in the premise"
+            )
+
+    def labels(self):
+        found = set()
+        for atom in self.premise:
+            found |= atom.labels()
+        return found
+
+    def is_trivial(self):
+        return self.left == self.right
+
+    def __eq__(self, other):
+        if not isinstance(other, Egd):
+            return NotImplemented
+        return (
+            self.premise == other.premise
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash((self.premise, self.left, self.right))
+
+    def __str__(self):
+        return "{} -> {} = {}".format(
+            " & ".join(str(atom) for atom in self.premise),
+            self.left,
+            self.right,
+        )
+
+    def __repr__(self):
+        return "Egd({!r})".format(str(self))
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_ATOM_RE = re.compile(
+    r"\(\s*(?P<source>[A-Za-z_][A-Za-z0-9_]*)\s*,"
+    r"\s*(?P<pattern>[^,]+?)\s*,"
+    r"\s*(?P<target>[A-Za-z_][A-Za-z0-9_]*)\s*\)"
+)
+_EQUALITY_RE = re.compile(
+    r"^\s*(?P<left>[A-Za-z_][A-Za-z0-9_]*)\s*=\s*"
+    r"(?P<right>[A-Za-z_][A-Za-z0-9_]*)\s*$"
+)
+
+
+def _parse_atoms(text):
+    atoms = []
+    remainder = text
+    for chunk in text.split("&"):
+        chunk = chunk.strip()
+        match = _ATOM_RE.fullmatch(chunk)
+        if not match:
+            raise ConstraintError(
+                "cannot parse atom {!r} in {!r}".format(chunk, remainder)
+            )
+        atoms.append(
+            Atom(
+                match.group("source"),
+                parse_pattern(match.group("pattern")),
+                match.group("target"),
+            )
+        )
+    return atoms
+
+
+def parse_tgd(text):
+    """Parse ``"(x, a, y) & ... -> (x, b, z)"`` into a :class:`Tgd`.
+
+    If the right-hand side is an equality ``x = y`` an :class:`Egd` is
+    returned instead.
+    """
+    if "->" not in text:
+        raise ConstraintError("constraint must contain '->': {!r}".format(text))
+    left, _, right = text.partition("->")
+    premise = _parse_atoms(left)
+    equality = _EQUALITY_RE.match(right)
+    if equality:
+        return Egd(premise, equality.group("left"), equality.group("right"))
+    conclusion = _parse_atoms(right)
+    return Tgd(premise, conclusion)

@@ -1,0 +1,5 @@
+"""The paper's primary contribution: the RelSim algorithm."""
+
+from repro.core.relsim import RelSim
+
+__all__ = ["RelSim"]

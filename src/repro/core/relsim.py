@@ -1,0 +1,164 @@
+"""RelSim — the paper's structurally robust similarity search algorithm.
+
+RelSim is PathSim's scoring formula (Equation 1) evaluated over **RRE**
+patterns instead of plain meta-paths.  Because RRE is expressive enough
+to carry any pattern across an invertible transformation with *equal
+instance counts* (Theorem 2 via the skip/nested operators), RelSim
+returns identical ranked lists over a database and all of its invertible
+structural variations (Corollary 1).
+
+Two scoring modes beyond PathSim's are provided for asymmetric
+relationships (e.g. disease-to-drug queries, Section 7.2, where the
+PathSim denominator is identically zero):
+
+* ``"count"`` — the raw instance count ``|I^{u,v}(p)|``;
+* ``"cosine"`` — counts normalized by the query row and candidate column
+  norms of the commuting matrix (a HeteSim-flavored normalization).
+
+All three are functions of the commuting matrix restricted to preserved
+nodes, hence equally robust.
+"""
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+from repro.lang.ast import Pattern
+from repro.lang.matrix_semantics import CommutingMatrixEngine
+from repro.lang.parser import parse_pattern
+from repro.similarity.base import SimilarityAlgorithm
+
+_SCORINGS = ("pathsim", "count", "cosine")
+
+
+def _as_patterns(patterns):
+    if isinstance(patterns, (str, Pattern)):
+        patterns = [patterns]
+    resolved = []
+    for pattern in patterns:
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern)
+        if not isinstance(pattern, Pattern):
+            raise TypeError(
+                "pattern must be a string or Pattern AST, got {!r}".format(
+                    pattern
+                )
+            )
+        if pattern not in resolved:
+            resolved.append(pattern)
+    if not resolved:
+        raise EvaluationError("RelSim needs at least one pattern")
+    return resolved
+
+
+class RelSim(SimilarityAlgorithm):
+    """Similarity search over one or more RRE relationship patterns.
+
+    With several patterns the per-pattern scores are summed — the
+    aggregation used by the usability layer (Section 5), where the
+    pattern set comes from Algorithm 1.
+
+    Parameters
+    ----------
+    database:
+        The graph database to search.
+    patterns:
+        One RRE (string/AST) or a list of them.
+    scoring:
+        ``"pathsim"`` (default, Equation 1), ``"count"`` or ``"cosine"``.
+    engine:
+        Optional shared :class:`CommutingMatrixEngine`.
+    """
+
+    name = "RelSim"
+
+    def __init__(
+        self,
+        database,
+        patterns,
+        scoring="pathsim",
+        engine=None,
+        answer_type=None,
+    ):
+        super().__init__(database, answer_type=answer_type)
+        if scoring not in _SCORINGS:
+            raise EvaluationError(
+                "unknown scoring {!r}; choose one of {}".format(
+                    scoring, _SCORINGS
+                )
+            )
+        self.patterns = _as_patterns(patterns)
+        self.scoring = scoring
+        self.engine = engine or CommutingMatrixEngine(database)
+        self._column_norms = {}
+
+    # ------------------------------------------------------------------
+    def _score_vector(self, pattern, query):
+        if self.scoring == "pathsim":
+            return self.engine.pathsim_scores_from(pattern, query)
+        matrix = self.engine.matrix(pattern)
+        index = self.engine.indexer.index_of(query)
+        row = np.asarray(matrix[index, :].todense()).ravel()
+        if self.scoring == "count":
+            return row
+        # cosine
+        row_norm = np.linalg.norm(row)
+        if row_norm == 0:
+            return np.zeros_like(row)
+        norms = self._column_norms.get(pattern)
+        if norms is None:
+            squared = matrix.multiply(matrix).sum(axis=0)
+            norms = np.sqrt(np.asarray(squared).ravel())
+            self._column_norms[pattern] = norms
+        scores = np.zeros_like(row)
+        positive = norms > 0
+        scores[positive] = row[positive] / (row_norm * norms[positive])
+        return scores
+
+    def scores(self, query):
+        indexer = self.engine.indexer
+        total = None
+        for pattern in self.patterns:
+            vector = self._score_vector(pattern, query)
+            total = vector if total is None else total + vector
+        return {
+            node: float(total[indexer.index_of(node)])
+            for node in self.candidates(query)
+            if node in indexer
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_simple_pattern(
+        cls,
+        database,
+        pattern,
+        constraints=None,
+        scoring="pathsim",
+        engine=None,
+        answer_type=None,
+        use_filters=True,
+        max_patterns=64,
+    ):
+        """The usability-layer constructor (Section 5).
+
+        Runs Algorithm 1 on ``pattern`` against the schema's constraints
+        (or an explicit ``constraints`` list) and aggregates over the
+        generated RRE set.
+        """
+        from repro.patterns.generator import generate_patterns
+
+        if constraints is None:
+            constraints = database.schema.constraints
+        generated = generate_patterns(
+            pattern,
+            constraints,
+            use_filters=use_filters,
+            max_patterns=max_patterns,
+        )
+        return cls(
+            database,
+            generated.patterns,
+            scoring=scoring,
+            engine=engine,
+            answer_type=answer_type,
+        )

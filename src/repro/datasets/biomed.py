@@ -1,0 +1,169 @@
+"""Synthetic BioMed-style biomedical databases (Figure 4 fragment).
+
+Entities: phenotypes (arranged in an ``is-parent-of`` forest), anatomy
+terms, proteins, DisOnt diseases, OMIM diseases, drugs, Reactome
+pathways and microRNAs, with the association edges of the paper's
+Figure 4.
+
+The two *indirect* association labels are computed as the **exact**
+derivation of the paper's tgds::
+
+    (ph1, is-parent-of, ph2) & (ph1, ph-a-assoc, a)  -> (ph2, ph-a-indirect, a)
+    (ph1, is-parent-of, ph2) & (dd, dd-ph-assoc, ph1) -> (dd, dd-ph-indirect, ph2)
+
+so the BioMedT transformation (drop the indirect labels) is invertible on
+the output by construction.
+
+The generator also plants **ground truth** for the effectiveness study
+(Table 3): for each of ``num_queries`` query diseases it wires one
+*relevant drug* along the evaluation meta-path (disease -> indirectly
+associated phenotype -> protein <- drug) with multiple supporting
+proteins, standing in for the expert disease/drug relevance judgments of
+the paper's NIH collaboration.
+"""
+
+from repro.datasets.schemas import BIOMED_SCHEMA
+from repro.datasets.synthetic import DatasetBundle, SeededGenerator
+from repro.graph.database import GraphDatabase
+
+
+def generate_biomed(
+    num_phenotypes=300,
+    num_anatomy=100,
+    num_proteins=500,
+    num_diseases=150,
+    num_drugs=120,
+    num_pathways=60,
+    num_microrna=80,
+    num_omim=60,
+    num_queries=30,
+    signal_strength=3,
+    seed=0,
+):
+    """Generate a BioMed-style database with planted drug relevance.
+
+    Parameters
+    ----------
+    num_queries:
+        How many diseases get a planted relevant drug (the paper uses a
+        30-query expert workload).
+    signal_strength:
+        Number of shared proteins wiring each query disease to its
+        relevant drug; higher means easier queries.
+    """
+    gen = SeededGenerator(seed)
+    database = GraphDatabase(BIOMED_SCHEMA)
+
+    phenotypes = gen.make_ids("phenotype", num_phenotypes)
+    anatomy = gen.make_ids("anatomy", num_anatomy)
+    proteins = gen.make_ids("protein", num_proteins)
+    diseases = gen.make_ids("disease", num_diseases)
+    drugs = gen.make_ids("drug", num_drugs)
+    pathways = gen.make_ids("pathway", num_pathways)
+    micrornas = gen.make_ids("microrna", num_microrna)
+    omims = gen.make_ids("omim", num_omim)
+
+    for nodes, node_type in (
+        (phenotypes, "phenotype"),
+        (anatomy, "anatomy"),
+        (proteins, "protein"),
+        (diseases, "disont-disease"),
+        (drugs, "drug"),
+        (pathways, "pathway"),
+        (micrornas, "microrna"),
+        (omims, "omim-disease"),
+    ):
+        for node_id in nodes:
+            database.add_node(node_id, node_type)
+
+    # Phenotype forest: each non-root gets one parent earlier in the list.
+    for index, child in enumerate(phenotypes[1:], start=1):
+        parent = phenotypes[gen.rng.randrange(0, index)]
+        database.add_edge(parent, "is-parent-of", child)
+
+    # Direct associations, popularity-skewed.
+    def sprinkle(sources, label, targets, low, high, exponent=0.7):
+        for source in sources:
+            for target in gen.zipf_sample(
+                targets, gen.rng.randint(low, high), exponent=exponent
+            ):
+                database.add_edge(source, label, target)
+
+    sprinkle(phenotypes, "ph-a-assoc", anatomy, 0, 2)
+    sprinkle(phenotypes, "ph-pr-assoc", proteins, 1, 3)
+    sprinkle(phenotypes, "ph-m-assoc", micrornas, 0, 1)
+    sprinkle(diseases, "dd-ph-assoc", phenotypes, 1, 3)
+    sprinkle(proteins, "pr-dd-assoc", diseases, 0, 1)
+    sprinkle(proteins, "is-member-of", pathways, 0, 2)
+    sprinkle(proteins, "expressed-in", anatomy, 0, 2)
+    sprinkle(proteins, "interacts-with", proteins, 0, 2)
+    sprinkle(drugs, "targets", proteins, 1, 4)
+    sprinkle(micrornas, "controls-expression-of", proteins, 0, 2)
+    sprinkle(micrornas, "m-od-assoc", omims, 0, 1)
+
+    # Plant the effectiveness ground truth before deriving indirect edges
+    # so the planted paths get their indirect closure too.
+    ground_truth = {}
+    query_diseases = diseases[:num_queries]
+    for index, disease in enumerate(query_diseases):
+        drug = drugs[index % len(drugs)]
+        parent = phenotypes[
+            gen.rng.randrange(0, max(1, num_phenotypes // 2))
+        ]
+        children = sorted(database.successors(parent, "is-parent-of"))
+        if not children:
+            # Ensure the parent has a child so the indirect edge exists.
+            child = phenotypes[
+                gen.rng.randrange(num_phenotypes // 2, num_phenotypes)
+            ]
+            database.add_edge(parent, "is-parent-of", child)
+        else:
+            child = children[0]
+        database.add_edge(disease, "dd-ph-assoc", parent)
+        shared = gen.zipf_sample(proteins, signal_strength, exponent=0.3)
+        for protein in shared:
+            database.add_edge(child, "ph-pr-assoc", protein)
+            database.add_edge(drug, "targets", protein)
+        ground_truth[disease] = drug
+
+    _derive_indirect_edges(database)
+
+    return DatasetBundle(
+        database,
+        ground_truth=ground_truth,
+        info={
+            "name": "BioMed",
+            "seed": seed,
+            "num_phenotypes": num_phenotypes,
+            "num_proteins": num_proteins,
+            "num_diseases": num_diseases,
+            "num_drugs": num_drugs,
+            "num_queries": num_queries,
+        },
+    )
+
+
+def _derive_indirect_edges(database):
+    """Add exactly the closure of the two BioMed tgds (single step)."""
+    parent_edges = list(database.edges("is-parent-of"))
+    for parent, _, child in parent_edges:
+        for anatomy_node in database.successors(parent, "ph-a-assoc"):
+            database.add_edge(child, "ph-a-indirect", anatomy_node)
+        for disease in database.predecessors(parent, "dd-ph-assoc"):
+            database.add_edge(disease, "dd-ph-indirect", child)
+
+
+def generate_biomed_small(seed=0, num_queries=30):
+    """The small BioMed analogue used when SimRank/RWR must also run."""
+    return generate_biomed(
+        num_phenotypes=120,
+        num_anatomy=40,
+        num_proteins=180,
+        num_diseases=60,
+        num_drugs=50,
+        num_pathways=25,
+        num_microrna=30,
+        num_omim=25,
+        num_queries=num_queries,
+        seed=seed,
+    )

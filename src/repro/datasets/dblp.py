@@ -1,0 +1,114 @@
+"""Synthetic DBLP-style bibliographic databases (Figure 2a).
+
+Entities: authors, papers, proceedings, research areas.  Edges: ``w``
+(author writes paper), ``p-in`` (paper published in proceedings), ``r-a``
+(paper has research area).
+
+The generator enforces the DBLP constraint by construction: research
+areas are assigned to *proceedings*, and every paper inherits exactly its
+proceedings' areas — hence any two papers of the same proceedings share
+areas, and the DBLP2SIGM transformation is invertible on the output.
+"""
+
+from repro.datasets.schemas import DBLP_SCHEMA
+from repro.datasets.synthetic import DatasetBundle, SeededGenerator
+from repro.graph.database import GraphDatabase
+
+
+def generate_dblp(
+    num_areas=12,
+    num_procs=60,
+    num_papers=600,
+    num_authors=300,
+    max_areas_per_proc=3,
+    max_papers_per_author=5,
+    seed=0,
+):
+    """Generate a DBLP-style database.
+
+    Every paper belongs to exactly one proceedings (as in real DBLP);
+    proceedings are popularity-skewed; each proceedings draws 1 to
+    ``max_areas_per_proc`` research areas, also popularity-skewed, so
+    related venues overlap on areas the way SIGKDD and VLDB do in the
+    paper's Figure 1.
+    """
+    gen = SeededGenerator(seed)
+    database = GraphDatabase(DBLP_SCHEMA)
+
+    areas = gen.make_ids("area", num_areas)
+    procs = gen.make_ids("proc", num_procs)
+    papers = gen.make_ids("paper", num_papers)
+    authors = gen.make_ids("author", num_authors)
+
+    for node, node_type in (
+        (areas, "area"),
+        (procs, "proc"),
+        (papers, "paper"),
+        (authors, "author"),
+    ):
+        for node_id in node:
+            database.add_node(node_id, node_type)
+
+    proc_areas = {}
+    for proc in procs:
+        count = gen.rng.randint(1, max_areas_per_proc)
+        proc_areas[proc] = gen.zipf_sample(areas, count, exponent=0.8)
+
+    for paper in papers:
+        proc = gen.zipf_choice(procs, exponent=0.9)
+        database.add_edge(paper, "p-in", proc)
+        for area in proc_areas[proc]:
+            database.add_edge(paper, "r-a", area)
+
+    for author in authors:
+        count = gen.rng.randint(1, max_papers_per_author)
+        for paper in gen.zipf_sample(papers, count, exponent=0.5):
+            database.add_edge(author, "w", paper)
+
+    return DatasetBundle(
+        database,
+        info={
+            "name": "DBLP",
+            "seed": seed,
+            "num_areas": num_areas,
+            "num_procs": num_procs,
+            "num_papers": num_papers,
+            "num_authors": num_authors,
+        },
+    )
+
+
+def generate_dblp_small(seed=0):
+    """The "small DBLP" analogue used for SimRank-involving experiments."""
+    return generate_dblp(
+        num_areas=8,
+        num_procs=25,
+        num_papers=200,
+        num_authors=100,
+        seed=seed,
+    )
+
+
+def figure1_dblp():
+    """The exact DBLP fragment of Figure 1(a), for worked examples/tests."""
+    database = GraphDatabase(DBLP_SCHEMA)
+    for area in ("SoftwareEngineering", "DataMining", "Databases"):
+        database.add_node(area, "area")
+    for paper in ("CodeMining", "PatternMining", "SimilarityMining"):
+        database.add_node(paper, "paper")
+    for proc in ("SIGKDD", "VLDB"):
+        database.add_node(proc, "proc")
+    database.add_edges(
+        [
+            ("CodeMining", "r-a", "SoftwareEngineering"),
+            ("CodeMining", "r-a", "DataMining"),
+            ("PatternMining", "r-a", "DataMining"),
+            ("PatternMining", "r-a", "Databases"),
+            ("SimilarityMining", "r-a", "DataMining"),
+            ("SimilarityMining", "r-a", "Databases"),
+            ("CodeMining", "p-in", "SIGKDD"),
+            ("PatternMining", "p-in", "VLDB"),
+            ("SimilarityMining", "p-in", "VLDB"),
+        ]
+    )
+    return database

@@ -1,0 +1,153 @@
+"""Schemas of the paper's four evaluation datasets and their variants.
+
+Figures 2-4 of the paper, in this library's vocabulary:
+
+* **DBLP** (Fig. 2a): ``w`` author->paper, ``p-in`` paper->proc,
+  ``r-a`` paper->area.  Constraint: papers published in the same
+  proceedings share their research areas (Example 1 / Section 7.1).
+* **SIGMOD Record style** (Fig. 2b): ``r-a`` instead connects proc->area.
+* **WSU** (Fig. 3a): ``t`` instructor->offer, ``co`` offer->course,
+  ``os`` offer->subject.  Constraint: offerings of the same course have
+  the same subjects.
+* **Alchemy UW-CSE style** (Fig. 3b): ``cs`` course->subject replaces
+  ``os``.
+* **BioMed** (Fig. 4, representative fragment): phenotype/anatomy/
+  protein/disease/drug/pathway/miRNA nodes; the two ``indirect-
+  associated-with`` labels are derivable from ``is-parent-of`` plus the
+  direct associations (the paper's two tgds).
+* **MAS** (Section 7): papers, conferences, areas, keywords.
+"""
+
+from repro.constraints.tgd import parse_tgd
+from repro.graph.schema import Schema
+
+# ----------------------------------------------------------------------
+# Bibliographic schemas (Figure 2)
+# ----------------------------------------------------------------------
+DBLP_CONSTRAINT = parse_tgd(
+    "(x1, r-a, x3) & (x1, p-in, x4) & (x2, p-in, x4) -> (x2, r-a, x3)"
+)
+
+DBLP_SCHEMA = Schema(
+    labels=["w", "p-in", "r-a"],
+    constraints=[DBLP_CONSTRAINT],
+    node_types={
+        "w": ("author", "paper"),
+        "p-in": ("paper", "proc"),
+        "r-a": ("paper", "area"),
+    },
+)
+
+SIGM_CONSTRAINT = parse_tgd(
+    "(x1, p-in, x2) & (x1, p-in, x5) & (x5, r-a, x3) -> (x2, r-a, x3)"
+)
+
+SIGM_SCHEMA = Schema(
+    labels=["w", "p-in", "r-a"],
+    constraints=[SIGM_CONSTRAINT],
+    node_types={
+        "w": ("author", "paper"),
+        "p-in": ("paper", "proc"),
+        "r-a": ("proc", "area"),
+    },
+)
+
+# DBLP2SIGMX adds publication-record nodes linking authors to proceedings.
+SIGMX_SCHEMA = Schema(
+    labels=["w", "p-in", "r-a", "rec-of", "rec-in"],
+    constraints=[SIGM_CONSTRAINT],
+    node_types={
+        "w": ("author", "paper"),
+        "p-in": ("paper", "proc"),
+        "r-a": ("proc", "area"),
+        "rec-of": ("pubrec", "author"),
+        "rec-in": ("pubrec", "proc"),
+    },
+)
+
+# ----------------------------------------------------------------------
+# Course schemas (Figure 3)
+# ----------------------------------------------------------------------
+WSU_CONSTRAINT = parse_tgd(
+    "(x1, os, x3) & (x1, co, x4) & (x2, co, x4) -> (x2, os, x3)"
+)
+
+WSU_SCHEMA = Schema(
+    labels=["t", "co", "os"],
+    constraints=[WSU_CONSTRAINT],
+    node_types={
+        "t": ("instructor", "offer"),
+        "co": ("offer", "course"),
+        "os": ("offer", "subject"),
+    },
+)
+
+ALCH_CONSTRAINT = parse_tgd(
+    "(x1, co, x2) & (x1, co, x5) & (x5, cs, x3) -> (x2, cs, x3)"
+)
+
+ALCH_SCHEMA = Schema(
+    labels=["t", "co", "cs"],
+    constraints=[ALCH_CONSTRAINT],
+    node_types={
+        "t": ("instructor", "offer"),
+        "co": ("offer", "course"),
+        "cs": ("course", "subject"),
+    },
+)
+
+# ----------------------------------------------------------------------
+# BioMed schemas (Figure 4 fragment)
+# ----------------------------------------------------------------------
+BIOMED_PH_A_CONSTRAINT = parse_tgd(
+    "(x1, is-parent-of, x2) & (x1, ph-a-assoc, x3) -> (x2, ph-a-indirect, x3)"
+)
+BIOMED_DD_PH_CONSTRAINT = parse_tgd(
+    "(x1, is-parent-of, x2) & (x3, dd-ph-assoc, x1) -> (x3, dd-ph-indirect, x2)"
+)
+
+_BIOMED_BASE_TYPES = {
+    "interacts-with": ("protein", "protein"),
+    "targets": ("drug", "protein"),
+    "is-member-of": ("protein", "pathway"),
+    "expressed-in": ("protein", "anatomy"),
+    "controls-expression-of": ("microrna", "protein"),
+    "is-parent-of": ("phenotype", "phenotype"),
+    "ph-a-assoc": ("phenotype", "anatomy"),
+    "ph-pr-assoc": ("phenotype", "protein"),
+    "dd-ph-assoc": ("disont-disease", "phenotype"),
+    "pr-dd-assoc": ("protein", "disont-disease"),
+    "m-od-assoc": ("microrna", "omim-disease"),
+    "ph-m-assoc": ("phenotype", "microrna"),
+}
+
+BIOMED_SCHEMA = Schema(
+    labels=list(_BIOMED_BASE_TYPES) + ["ph-a-indirect", "dd-ph-indirect"],
+    constraints=[BIOMED_PH_A_CONSTRAINT, BIOMED_DD_PH_CONSTRAINT],
+    node_types={
+        **_BIOMED_BASE_TYPES,
+        "ph-a-indirect": ("phenotype", "anatomy"),
+        "dd-ph-indirect": ("disont-disease", "phenotype"),
+    },
+)
+
+# The BioMedT target: the derivable indirect labels are removed.
+BIOMED_T_SCHEMA = Schema(
+    labels=list(_BIOMED_BASE_TYPES),
+    constraints=[],
+    node_types=_BIOMED_BASE_TYPES,
+)
+
+# ----------------------------------------------------------------------
+# MAS (Microsoft Academic Search subset; Section 7 effectiveness study)
+# ----------------------------------------------------------------------
+MAS_SCHEMA = Schema(
+    labels=["pub-in", "p-area", "p-kw", "a-kw"],
+    constraints=[],
+    node_types={
+        "pub-in": ("paper", "conf"),
+        "p-area": ("paper", "area"),
+        "p-kw": ("paper", "keyword"),
+        "a-kw": ("area", "keyword"),
+    },
+)

@@ -1,0 +1,74 @@
+"""Shared utilities for the synthetic dataset generators.
+
+The paper evaluates on real dumps (DBLP, MAS, WSU, BioMed) that we do not
+have; the generators in this package produce seeded synthetic databases
+over the *same schemas* that *satisfy the same constraints by
+construction*, which is all the robustness theory depends on (see the
+substitution notes in DESIGN.md).
+
+Generators intentionally produce skewed (Zipf-ish) degree distributions:
+the paper samples query workloads by node degree, and several baselines'
+non-robustness is amplified by degree skew, so uniform graphs would make
+the reproduction unrealistically tame.
+"""
+
+import random
+
+
+class SeededGenerator:
+    """Base class carrying a deterministic RNG and id-minting helpers."""
+
+    def __init__(self, seed=0):
+        self.rng = random.Random(seed)
+
+    def make_ids(self, prefix, count):
+        """``["prefix:0", ..., "prefix:count-1"]``."""
+        return ["{}:{}".format(prefix, i) for i in range(count)]
+
+    def zipf_choice(self, items, exponent=1.0):
+        """Pick one item with probability proportional to rank^-exponent.
+
+        Items earlier in the list are "popular"; this is how conferences
+        accumulate papers and proteins accumulate interactions.
+        """
+        weights = [
+            1.0 / ((rank + 1) ** exponent) for rank in range(len(items))
+        ]
+        return self.rng.choices(items, weights=weights, k=1)[0]
+
+    def zipf_sample(self, items, count, exponent=1.0):
+        """Sample ``count`` *distinct* items, popularity-biased."""
+        count = min(count, len(items))
+        chosen = []
+        pool = list(items)
+        weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(pool))]
+        for _ in range(count):
+            pick = self.rng.choices(range(len(pool)), weights=weights, k=1)[0]
+            chosen.append(pool.pop(pick))
+            weights.pop(pick)
+        return chosen
+
+
+class DatasetBundle:
+    """A generated database plus the metadata experiments need.
+
+    Attributes
+    ----------
+    database:
+        The :class:`GraphDatabase`.
+    ground_truth:
+        Optional ``{query_node: relevant_node}`` mapping for MRR
+        experiments (BioMed plants one relevant drug per query disease).
+    info:
+        Free-form dict with generation parameters, for reporting.
+    """
+
+    def __init__(self, database, ground_truth=None, info=None):
+        self.database = database
+        self.ground_truth = dict(ground_truth or {})
+        self.info = dict(info or {})
+
+    def __repr__(self):
+        return "DatasetBundle({!r}, ground_truth={}, info={})".format(
+            self.database, len(self.ground_truth), self.info
+        )

@@ -1,0 +1,46 @@
+"""Query workload sampling.
+
+The paper samples query workloads "randomly ... based on their node
+degrees" — high-degree entities are more likely queries, mirroring how
+users mostly ask about prominent venues, courses or diseases.
+"""
+
+import random
+
+
+def sample_queries_by_degree(database, node_type, count, seed=0):
+    """Sample ``count`` distinct nodes of ``node_type``, degree-weighted.
+
+    Nodes with zero degree are never sampled (a similarity query on an
+    isolated node has no meaningful answers).  If fewer than ``count``
+    candidates exist, all of them are returned (deterministic order).
+    """
+    candidates = [
+        node
+        for node in database.nodes_of_type(node_type)
+        if database.degree(node) > 0
+    ]
+    if len(candidates) <= count:
+        return sorted(candidates)
+    rng = random.Random(seed)
+    chosen = []
+    pool = list(candidates)
+    weights = [float(database.degree(node)) for node in pool]
+    for _ in range(count):
+        index = rng.choices(range(len(pool)), weights=weights, k=1)[0]
+        chosen.append(pool.pop(index))
+        weights.pop(index)
+    return chosen
+
+
+def uniform_queries(database, node_type, count, seed=0):
+    """Uniformly sampled distinct queries of one node type."""
+    candidates = [
+        node
+        for node in database.nodes_of_type(node_type)
+        if database.degree(node) > 0
+    ]
+    if len(candidates) <= count:
+        return sorted(candidates)
+    rng = random.Random(seed)
+    return rng.sample(candidates, count)

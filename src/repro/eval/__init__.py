@@ -1,0 +1,39 @@
+"""Evaluation: ranking metrics, experiment harnesses, report tables."""
+
+from repro.eval.harness import (
+    EffectivenessExperiment,
+    EffectivenessResult,
+    RobustnessExperiment,
+    RobustnessResult,
+    time_queries,
+)
+from repro.eval.metrics import (
+    average_top_k_tau,
+    kendall_tau_distance,
+    mean_reciprocal_rank,
+    normalized_kendall_tau,
+    reciprocal_rank,
+)
+from repro.eval.reporting import (
+    effectiveness_table,
+    format_table,
+    robustness_table,
+    timing_table,
+)
+
+__all__ = [
+    "EffectivenessExperiment",
+    "EffectivenessResult",
+    "RobustnessExperiment",
+    "RobustnessResult",
+    "average_top_k_tau",
+    "effectiveness_table",
+    "format_table",
+    "kendall_tau_distance",
+    "mean_reciprocal_rank",
+    "normalized_kendall_tau",
+    "reciprocal_rank",
+    "robustness_table",
+    "time_queries",
+    "timing_table",
+]

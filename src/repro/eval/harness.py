@@ -1,0 +1,164 @@
+"""Experiment harnesses reproducing the Section-7 methodology.
+
+* :class:`RobustnessExperiment` — run a workload with each algorithm on
+  a database and on its transformed variant, and report average
+  normalized Kendall tau at top-5/top-10 (Tables 1 and 2).
+* :class:`EffectivenessExperiment` — MRR against ground truth on a
+  database (and optionally its transformed variant; Table 3).
+* :func:`time_queries` — average per-query wall time (Table 4/Figure 5).
+
+Algorithms are supplied as *factories* ``factory(database) -> algorithm``
+because each variant needs its own engine/matrices (and, for the
+pattern-based methods, its own translated pattern).
+"""
+
+import time
+
+from repro.eval.metrics import average_top_k_tau, mean_reciprocal_rank
+
+
+class RobustnessResult:
+    """Average tau@k per algorithm for one transformation."""
+
+    def __init__(self, transformation_name, taus):
+        self.transformation_name = transformation_name
+        #: ``{algorithm_name: {k: tau}}``
+        self.taus = taus
+
+    def tau(self, algorithm_name, k):
+        return self.taus[algorithm_name][k]
+
+    def __repr__(self):
+        return "RobustnessResult({!r}, {})".format(
+            self.transformation_name, self.taus
+        )
+
+
+class RobustnessExperiment:
+    """Compare rankings across a database and its structural variant.
+
+    Parameters
+    ----------
+    source_database:
+        The original database ``I``.
+    transformed_database:
+        A member of ``Sigma(I)`` (apply the transformation yourself so
+        the same variant can be reused across algorithms).
+    algorithms:
+        ``{name: (source_factory, target_factory)}`` — separate factories
+        because pattern-based algorithms use the translated pattern on
+        the target side.
+    queries:
+        Query node ids (preserved by the transformation).
+    """
+
+    def __init__(
+        self,
+        source_database,
+        transformed_database,
+        algorithms,
+        queries,
+        top_ks=(5, 10),
+        transformation_name="",
+    ):
+        self.source_database = source_database
+        self.transformed_database = transformed_database
+        self.algorithms = dict(algorithms)
+        self.queries = [
+            q
+            for q in queries
+            if source_database.has_node(q) and transformed_database.has_node(q)
+        ]
+        self.top_ks = tuple(top_ks)
+        self.transformation_name = transformation_name
+
+    def run(self):
+        taus = {}
+        max_k = max(self.top_ks)
+        for name, (source_factory, target_factory) in self.algorithms.items():
+            source_algorithm = source_factory(self.source_database)
+            target_algorithm = target_factory(self.transformed_database)
+            source_rankings = {}
+            target_rankings = {}
+            for query in self.queries:
+                source_rankings[query] = source_algorithm.rank(
+                    query, top_k=max_k
+                ).top()
+                target_rankings[query] = target_algorithm.rank(
+                    query, top_k=max_k
+                ).top()
+            taus[name] = {
+                k: average_top_k_tau(source_rankings, target_rankings, k)
+                for k in self.top_ks
+            }
+        return RobustnessResult(self.transformation_name, taus)
+
+
+class EffectivenessResult:
+    """MRR per algorithm, per database variant."""
+
+    def __init__(self, mrrs):
+        #: ``{variant_name: {algorithm_name: mrr}}``
+        self.mrrs = mrrs
+
+    def mrr(self, variant_name, algorithm_name):
+        return self.mrrs[variant_name][algorithm_name]
+
+    def __repr__(self):
+        return "EffectivenessResult({})".format(self.mrrs)
+
+
+class EffectivenessExperiment:
+    """MRR of several algorithms against planted/expert ground truth.
+
+    Parameters
+    ----------
+    variants:
+        ``{variant_name: database}`` — e.g. original BioMed and BioMed
+        under BioMedT.
+    algorithms:
+        ``{algorithm_name: {variant_name: factory}}``.
+    ground_truth:
+        ``{query: relevant node(s)}``.
+    """
+
+    def __init__(self, variants, algorithms, ground_truth, top_k=None):
+        self.variants = dict(variants)
+        self.algorithms = dict(algorithms)
+        self.ground_truth = dict(ground_truth)
+        self.top_k = top_k
+
+    def run(self):
+        mrrs = {name: {} for name in self.variants}
+        for algorithm_name, factories in self.algorithms.items():
+            for variant_name, database in self.variants.items():
+                factory = factories.get(variant_name)
+                if factory is None:
+                    continue
+                algorithm = factory(database)
+                rankings = {
+                    query: algorithm.rank(query, top_k=self.top_k).top()
+                    for query in self.ground_truth
+                    if database.has_node(query)
+                }
+                mrrs[variant_name][algorithm_name] = mean_reciprocal_rank(
+                    rankings, self.ground_truth
+                )
+        return EffectivenessResult(mrrs)
+
+
+def time_queries(algorithm, queries, repeat=1):
+    """Average seconds per query (the measure of Table 4 / Figure 5).
+
+    The algorithm is constructed by the caller so that one-off setup cost
+    (e.g. materialized matrices, SimRank's all-pairs solve) can be kept
+    in or out of the measurement deliberately.
+    """
+    if not queries:
+        return 0.0
+    started = time.perf_counter()
+    for _ in range(repeat):
+        for query in queries:
+            algorithm.rank(query, top_k=10)
+    elapsed = time.perf_counter() - started
+    return elapsed / (repeat * len(queries))

@@ -1,0 +1,131 @@
+"""Ranking comparison metrics used in Section 7.
+
+* :func:`normalized_kendall_tau` — the paper's robustness measure:
+  normalized Kendall's tau between two top-k lists, 0 when identical, 1
+  when reversed.  Top-k lists over different structural variants may not
+  contain the same elements, so we use the Fagin-Kumar-Sivakumar
+  extension: elements absent from a list are treated as tied below
+  position k, and a pair that cannot be ordered in either list
+  contributes the neutral penalty 1/2.
+* :func:`reciprocal_rank` / :func:`mean_reciprocal_rank` — the
+  effectiveness measure of Table 3.
+"""
+
+
+def _positions(items):
+    return {item: index for index, item in enumerate(items)}
+
+
+def kendall_tau_distance(list_a, list_b, penalty=0.5):
+    """Unnormalized Kendall distance between two (top-k) lists.
+
+    For every unordered pair ``{x, y}`` of elements appearing in either
+    list:
+
+    * both ordered in both lists, same order — 0; opposite — 1;
+    * ordered in one list only, and the other list's information (one
+      element present, one absent => present one ranks higher) agrees — 0,
+      disagrees — 1;
+    * both missing from one of the lists (so that list says nothing) —
+      ``penalty``.
+    """
+    if list_a == list_b:
+        return 0.0
+    pos_a = _positions(list_a)
+    pos_b = _positions(list_b)
+    universe = sorted(set(pos_a) | set(pos_b), key=str)
+    distance = 0.0
+    for i, x in enumerate(universe):
+        for y in universe[i + 1 :]:
+            distance += _pair_penalty(x, y, pos_a, pos_b, penalty)
+    return distance
+
+
+def _pair_penalty(x, y, pos_a, pos_b, penalty):
+    in_a = (x in pos_a, y in pos_a)
+    in_b = (x in pos_b, y in pos_b)
+
+    def order(pos, x_in, y_in):
+        """-1: x before y, 1: y before x, 0: unknown."""
+        if x_in and y_in:
+            return -1 if pos[x] < pos[y] else 1
+        if x_in:
+            return -1  # present beats absent (absent means rank > k)
+        if y_in:
+            return 1
+        return 0
+
+    order_a = order(pos_a, *in_a)
+    order_b = order(pos_b, *in_b)
+    if order_a == 0 or order_b == 0:
+        # At least one list carries no information about this pair; the
+        # neutral penalty (Fagin et al.'s K^(p) with p = 1/2 by default).
+        return penalty
+    return 0.0 if order_a == order_b else 1.0
+
+
+def normalized_kendall_tau(list_a, list_b, penalty=0.5):
+    """Kendall distance normalized to [0, 1].
+
+    0 means the lists are identical; 1 means one is the exact reverse of
+    the other (the paper's convention).  Two empty lists are identical.
+    """
+    if not list_a and not list_b:
+        return 0.0
+    pairs = len(set(list_a) | set(list_b))
+    total = pairs * (pairs - 1) / 2.0
+    if total == 0:
+        return 0.0
+    return kendall_tau_distance(list_a, list_b, penalty=penalty) / total
+
+
+def reciprocal_rank(ranked, relevant):
+    """``1/p`` for the first position of a relevant answer (0 if absent).
+
+    ``relevant`` may be a single node or a collection.
+    """
+    if not isinstance(relevant, (set, frozenset, list, tuple)):
+        relevant = {relevant}
+    else:
+        relevant = set(relevant)
+    for position, node in enumerate(ranked, start=1):
+        if node in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+def mean_reciprocal_rank(rankings, ground_truth):
+    """Average RR over queries.
+
+    Parameters
+    ----------
+    rankings:
+        ``{query: [ranked nodes...]}``.
+    ground_truth:
+        ``{query: relevant node (or collection)}``.
+    """
+    if not ground_truth:
+        return 0.0
+    total = 0.0
+    for query, relevant in ground_truth.items():
+        total += reciprocal_rank(rankings.get(query, []), relevant)
+    return total / len(ground_truth)
+
+
+def average_top_k_tau(rankings_a, rankings_b, k, penalty=0.5):
+    """Mean normalized tau@k across a query workload.
+
+    ``rankings_a``/``rankings_b`` map query -> full ranked list; lists
+    are truncated to ``k`` here.
+    """
+    queries = sorted(set(rankings_a) & set(rankings_b), key=str)
+    if not queries:
+        return 0.0
+    total = 0.0
+    for query in queries:
+        total += normalized_kendall_tau(
+            list(rankings_a[query])[:k],
+            list(rankings_b[query])[:k],
+            penalty=penalty,
+        )
+    return total / len(queries)

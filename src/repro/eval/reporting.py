@@ -1,0 +1,94 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper reports; these
+helpers keep the formatting consistent (and the output diffable across
+runs).
+"""
+
+
+def format_table(headers, rows, title=None, float_format="{:.3f}"):
+    """Render a list-of-rows table with aligned columns.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Returns the string (callers print or log it).
+    """
+    def render(value):
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    for row in rendered:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def robustness_table(results, algorithms=None, title=None):
+    """Tables 1/2 layout: algorithms x (transformation, top-5, top-10)."""
+    headers = ["algorithm"]
+    for result in results:
+        headers.append("{} top5".format(result.transformation_name))
+        headers.append("{} top10".format(result.transformation_name))
+    if algorithms is None:
+        algorithms = sorted(
+            {name for result in results for name in result.taus}
+        )
+    rows = []
+    for name in algorithms:
+        row = [name]
+        for result in results:
+            taus = result.taus.get(name)
+            if taus is None:
+                row.extend(["-", "-"])
+            else:
+                row.extend([taus.get(5, float("nan")), taus.get(10, float("nan"))])
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def effectiveness_table(result, title=None):
+    """Table 3 layout: variants x algorithms, MRR values."""
+    algorithms = sorted(
+        {name for per_variant in result.mrrs.values() for name in per_variant}
+    )
+    headers = ["variant"] + algorithms
+    rows = []
+    for variant_name in sorted(result.mrrs):
+        row = [variant_name]
+        for algorithm in algorithms:
+            value = result.mrrs[variant_name].get(algorithm)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def timing_table(timings, title=None, float_format="{:.4f}"):
+    """Table 4 layout: ``{row_name: {column: seconds}}``."""
+    columns = sorted(
+        {column for per_row in timings.values() for column in per_row}
+    )
+    headers = ["algorithm"] + columns
+    rows = []
+    for row_name in sorted(timings):
+        row = [row_name]
+        for column in columns:
+            value = timings[row_name].get(column)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)

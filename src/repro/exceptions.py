@@ -1,0 +1,99 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any library failure with a single ``except`` clause while still
+being able to discriminate the precise failure mode.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A label or constraint refers to something outside the schema."""
+
+
+class UnknownLabelError(SchemaError):
+    """A pattern or edge uses an edge label that the schema does not define."""
+
+    def __init__(self, label, schema_labels=None):
+        self.label = label
+        self.schema_labels = set(schema_labels or ())
+        message = "unknown edge label {!r}".format(label)
+        if self.schema_labels:
+            message += " (schema labels: {})".format(sorted(self.schema_labels))
+        super().__init__(message)
+
+
+class UnknownNodeError(ReproError):
+    """An operation referenced a node id that is not in the database."""
+
+    def __init__(self, node):
+        self.node = node
+        super().__init__("unknown node id {!r}".format(node))
+
+
+class PatternSyntaxError(ReproError):
+    """The RRE/RPQ parser rejected the input string."""
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None:
+            message = "{} (at position {})".format(message, position)
+        super().__init__(message)
+
+
+class StarDivergenceError(ReproError):
+    """Counting a Kleene star did not converge within the expansion bound.
+
+    Under the paper's counting semantics ``|I(p*)|`` is infinite whenever the
+    graph contains a cycle matched by ``p``.  We bound the expansion and
+    raise this error rather than silently truncating the count.
+    """
+
+    def __init__(self, pattern, depth):
+        self.pattern = pattern
+        self.depth = depth
+        super().__init__(
+            "Kleene star counting for {!r} did not converge after depth "
+            "{}; the graph likely contains a matching cycle".format(
+                str(pattern), depth
+            )
+        )
+
+
+class ConstraintError(ReproError):
+    """A tgd/egd is malformed or used in an unsupported way."""
+
+
+class CyclicPremiseError(ConstraintError):
+    """Algorithm 2 requires acyclic constraint premises (Section 4.2)."""
+
+    def __init__(self, constraint):
+        self.constraint = constraint
+        super().__init__(
+            "constraint premise is cyclic; RelSim pattern generation "
+            "supports acyclic premises only: {}".format(constraint)
+        )
+
+
+class TransformationError(ReproError):
+    """A schema mapping could not be applied or analyzed."""
+
+
+class NotInvertibleError(TransformationError):
+    """A transformation failed an invertibility check."""
+
+
+class EvaluationError(ReproError):
+    """A similarity query could not be evaluated."""
+
+
+class AsymmetricPatternError(EvaluationError):
+    """PathSim's formula needs patterns whose endpoints have the same type.
+
+    The paper evaluates asymmetric (e.g. disease-to-drug) relationships with
+    HeteSim instead; this error tells the caller to do the same.
+    """

@@ -1,0 +1,35 @@
+"""Graph database substrate: schemas, databases, and sparse matrix views."""
+
+from repro.graph.database import GraphDatabase
+from repro.graph.matrices import (
+    MatrixView,
+    NodeIndexer,
+    boolean,
+    column_normalize,
+    diagonal_of,
+    row_normalize,
+)
+from repro.graph.schema import Schema
+from repro.graph.statistics import (
+    degree_distribution,
+    degree_statistics,
+    label_histogram,
+    node_type_histogram,
+    summarize,
+)
+
+__all__ = [
+    "GraphDatabase",
+    "MatrixView",
+    "NodeIndexer",
+    "Schema",
+    "boolean",
+    "column_normalize",
+    "degree_distribution",
+    "degree_statistics",
+    "label_histogram",
+    "node_type_histogram",
+    "summarize",
+    "diagonal_of",
+    "row_normalize",
+]

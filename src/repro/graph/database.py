@@ -1,0 +1,188 @@
+"""The graph database engine.
+
+A database ``D`` over a label set ``L`` is a directed graph ``(V, E)`` with
+``E`` a subset of ``V x L x V`` (Section 2 of the paper).  We additionally
+keep an optional *node type* per node — purely metadata used by dataset
+generators, workload samplers and HeteSim; none of the formal machinery
+depends on it.
+
+Design notes
+------------
+* Node ids are arbitrary hashable values (the paper fixes a countable id
+  universe).  Dataset generators use strings like ``"paper:17"``.
+* Edges form a *set*: adding the same ``(u, a, v)`` twice is a no-op, which
+  matches the paper's set-of-edges definition.  Parallel edges with
+  different labels are of course allowed.
+* Both directions are indexed so reverse traversal (``a-``) is O(1) per
+  neighbor.
+"""
+
+from collections import defaultdict
+
+from repro.exceptions import UnknownLabelError, UnknownNodeError
+
+
+class GraphDatabase:
+    """A labeled directed graph with set semantics on edges.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`repro.graph.schema.Schema` this database instantiates.
+        Every added edge label is validated against it.
+    """
+
+    def __init__(self, schema):
+        self._schema = schema
+        self._nodes = {}
+        # label -> {u -> set(v)} and the reverse orientation.
+        self._out = defaultdict(lambda: defaultdict(set))
+        self._in = defaultdict(lambda: defaultdict(set))
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self._schema
+
+    def add_node(self, node, node_type=None):
+        """Add ``node`` (idempotent).  Returns the node id for chaining."""
+        if node not in self._nodes:
+            self._nodes[node] = node_type
+        elif node_type is not None and self._nodes[node] is None:
+            self._nodes[node] = node_type
+        return node
+
+    def add_edge(self, source, label, target):
+        """Add edge ``(source, label, target)``; endpoints are auto-added."""
+        if label not in self._schema:
+            raise UnknownLabelError(label, self._schema.labels)
+        self.add_node(source)
+        self.add_node(target)
+        targets = self._out[label][source]
+        if target not in targets:
+            targets.add(target)
+            self._in[label][target].add(source)
+            self._edge_count += 1
+
+    def add_edges(self, edges):
+        """Add an iterable of ``(source, label, target)`` triples."""
+        for source, label, target in edges:
+            self.add_edge(source, label, target)
+
+    def remove_edge(self, source, label, target):
+        """Remove an edge; raises ``KeyError`` if it is absent."""
+        targets = self._out[label].get(source)
+        if not targets or target not in targets:
+            raise KeyError((source, label, target))
+        targets.discard(target)
+        if not targets:
+            del self._out[label][source]
+        sources = self._in[label][target]
+        sources.discard(source)
+        if not sources:
+            del self._in[label][target]
+        self._edge_count -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nodes(self):
+        """An iterator over node ids (insertion order)."""
+        return iter(self._nodes)
+
+    def node_type(self, node):
+        """The node's type string, or ``None`` if untyped/unknown node."""
+        if node not in self._nodes:
+            raise UnknownNodeError(node)
+        return self._nodes[node]
+
+    def nodes_of_type(self, node_type):
+        """All node ids whose type equals ``node_type`` (insertion order)."""
+        return [n for n, t in self._nodes.items() if t == node_type]
+
+    def edges(self, label=None):
+        """Iterate ``(source, label, target)`` triples, optionally filtered."""
+        labels = [label] if label is not None else list(self._out)
+        for lab in labels:
+            for source, targets in self._out[lab].items():
+                for target in targets:
+                    yield (source, lab, target)
+
+    def has_node(self, node):
+        return node in self._nodes
+
+    def has_edge(self, source, label, target):
+        return target in self._out[label].get(source, ())
+
+    def successors(self, node, label):
+        """Nodes ``v`` with an edge ``(node, label, v)``."""
+        return set(self._out[label].get(node, ()))
+
+    def predecessors(self, node, label):
+        """Nodes ``u`` with an edge ``(u, label, node)``."""
+        return set(self._in[label].get(node, ()))
+
+    def degree(self, node):
+        """Total degree (in + out) across all labels."""
+        if node not in self._nodes:
+            raise UnknownNodeError(node)
+        total = 0
+        for label in self._out:
+            total += len(self._out[label].get(node, ()))
+            total += len(self._in[label].get(node, ()))
+        return total
+
+    def num_nodes(self):
+        return len(self._nodes)
+
+    def num_edges(self):
+        return self._edge_count
+
+    def used_labels(self):
+        """Labels that occur on at least one edge."""
+        return {label for label in self._out if self._out[label]}
+
+    def label_pairs(self, label):
+        """The binary relation ``[[label]]_D`` as a set of ``(u, v)`` pairs."""
+        if label not in self._schema:
+            raise UnknownLabelError(label, self._schema.labels)
+        return {
+            (source, target)
+            for source, targets in self._out[label].items()
+            for target in targets
+        }
+
+    # ------------------------------------------------------------------
+    # Copying / comparison
+    # ------------------------------------------------------------------
+    def copy(self, schema=None):
+        """A deep copy, optionally re-homed onto a different schema."""
+        clone = GraphDatabase(schema or self._schema)
+        for node, node_type in self._nodes.items():
+            clone.add_node(node, node_type)
+        for edge in self.edges():
+            clone.add_edge(*edge)
+        return clone
+
+    def edge_set(self):
+        """All edges as a frozenset of triples (for equality checks)."""
+        return frozenset(self.edges())
+
+    def same_content(self, other):
+        """True when both databases have identical node and edge sets.
+
+        This is the notion of database identity used for inverse
+        transformations: ``Sigma_TS(Sigma_ST(I)) == I`` exactly.
+        """
+        return (
+            set(self._nodes) == set(other._nodes)
+            and self.edge_set() == other.edge_set()
+        )
+
+    def __repr__(self):
+        return "GraphDatabase(nodes={}, edges={})".format(
+            self.num_nodes(), self.num_edges()
+        )

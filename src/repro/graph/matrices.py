@@ -1,0 +1,164 @@
+"""Sparse adjacency matrices for a graph database.
+
+The commuting-matrix computation of Section 4.3 works on per-label
+adjacency matrices ``A_l``.  This module provides a :class:`NodeIndexer`
+(stable node-id <-> row index mapping) and a :class:`MatrixView` that
+extracts and caches CSR matrices from a :class:`GraphDatabase`.
+
+Matrices use float64: instance counts can exceed int32 on long patterns
+and SciPy's sparse matmul is best-tuned for floats.  Counts are exact as
+long as they stay below 2**53, which vastly exceeds anything a realistic
+pattern produces.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import UnknownNodeError
+
+
+class NodeIndexer:
+    """A stable bijection between node ids and ``0..n-1`` matrix indices."""
+
+    def __init__(self, nodes):
+        self._ids = list(nodes)
+        self._index = {node: i for i, node in enumerate(self._ids)}
+        if len(self._index) != len(self._ids):
+            raise ValueError("duplicate node ids passed to NodeIndexer")
+
+    def __len__(self):
+        return len(self._ids)
+
+    def index_of(self, node):
+        try:
+            return self._index[node]
+        except KeyError:
+            raise UnknownNodeError(node) from None
+
+    def node_at(self, index):
+        return self._ids[index]
+
+    def __contains__(self, node):
+        return node in self._index
+
+    @property
+    def ids(self):
+        return list(self._ids)
+
+
+class MatrixView:
+    """Per-label sparse adjacency matrices over a fixed node ordering.
+
+    Parameters
+    ----------
+    database:
+        The :class:`repro.graph.database.GraphDatabase` to project.
+    indexer:
+        Optional :class:`NodeIndexer`; defaults to the database's node
+        insertion order.  Pass a shared indexer when comparing matrices
+        across structural variants of the same database (node ids are
+        preserved by invertible transformations, so a shared ordering makes
+        entries directly comparable).
+
+    The view is a *snapshot*: mutate the database afterwards and the cached
+    matrices go stale.  Build a fresh view after mutation.
+    """
+
+    def __init__(self, database, indexer=None):
+        self._database = database
+        self._indexer = indexer or NodeIndexer(database.nodes())
+        self._cache = {}
+
+    @property
+    def indexer(self):
+        return self._indexer
+
+    @property
+    def database(self):
+        return self._database
+
+    def num_nodes(self):
+        return len(self._indexer)
+
+    def adjacency(self, label):
+        """The CSR adjacency matrix ``A_label`` (entries are 0/1 counts)."""
+        if label not in self._cache:
+            self._cache[label] = self._build(label)
+        return self._cache[label]
+
+    def _build(self, label):
+        self._database.schema.require_label(label)
+        n = len(self._indexer)
+        rows, cols = [], []
+        for source, _, target in self._database.edges(label):
+            if source in self._indexer and target in self._indexer:
+                rows.append(self._indexer.index_of(source))
+                cols.append(self._indexer.index_of(target))
+        data = np.ones(len(rows), dtype=np.float64)
+        matrix = sp.csr_matrix(
+            (data, (rows, cols)), shape=(n, n), dtype=np.float64
+        )
+        matrix.sum_duplicates()
+        return matrix
+
+    def identity(self):
+        """The identity matrix (the ``epsilon`` pattern's matrix)."""
+        return sp.identity(len(self._indexer), dtype=np.float64, format="csr")
+
+    def zeros(self):
+        return sp.csr_matrix(
+            (len(self._indexer), len(self._indexer)), dtype=np.float64
+        )
+
+    def combined_adjacency(self, labels=None, symmetric=False):
+        """Sum of per-label adjacencies; the graph RWR/SimRank walk on.
+
+        Parameters
+        ----------
+        labels:
+            Iterable of labels to include; defaults to every label used in
+            the database.
+        symmetric:
+            When True, returns ``A + A.T`` — random-walk algorithms over
+            heterogeneous graphs conventionally walk edges both ways.
+        """
+        if labels is None:
+            labels = sorted(self._database.used_labels())
+        total = self.zeros()
+        for label in labels:
+            total = total + self.adjacency(label)
+        if symmetric:
+            total = total + total.T
+        return total.tocsr()
+
+
+def boolean(matrix):
+    """Elementwise ``matrix > 0`` as a 0/1 float CSR matrix (the paper's >).
+
+    Used by the skip operator's commuting matrix ``M_<<p>> = M_p > 0``.
+    """
+    result = matrix.copy().tocsr()
+    result.data = (result.data > 0).astype(np.float64)
+    result.eliminate_zeros()
+    return result
+
+
+def diagonal_of(matrix):
+    """``diag{X}``: zero out everything except the main diagonal."""
+    diag = matrix.diagonal()
+    return sp.diags(diag, format="csr", dtype=np.float64)
+
+
+def row_normalize(matrix):
+    """Row-stochastic version of ``matrix`` (zero rows stay zero)."""
+    matrix = matrix.tocsr().astype(np.float64)
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    inverse = np.divide(
+        1.0, sums, out=np.zeros_like(sums), where=sums > 0
+    )
+    return sp.diags(inverse, format="csr") @ matrix
+
+
+def column_normalize(matrix):
+    """Column-stochastic version of ``matrix`` (zero columns stay zero)."""
+    return row_normalize(matrix.T).T.tocsr()

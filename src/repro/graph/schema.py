@@ -1,0 +1,122 @@
+"""Graph schemas: a finite set of edge labels plus a set of constraints.
+
+A schema in the paper (Section 2) is a pair ``(L, Gamma)`` where ``L`` is a
+finite label set and ``Gamma`` a finite set of tgd/egd constraints.  The
+constraint objects themselves live in :mod:`repro.constraints`; the schema
+only stores them and answers membership questions, mirroring the paper's
+"label in S" / "constraint in S" notation.
+"""
+
+from repro.exceptions import SchemaError, UnknownLabelError
+
+
+class Schema:
+    """A graph schema ``(labels, constraints)``.
+
+    Parameters
+    ----------
+    labels:
+        Iterable of edge-label strings.  Labels are case-sensitive and must
+        be non-empty.
+    constraints:
+        Iterable of :class:`repro.constraints.tgd.Tgd` (or compatible)
+        objects.  Every label mentioned by a constraint must be in
+        ``labels``.
+    node_types:
+        Optional mapping from label to a ``(source_type, target_type)``
+        pair.  Node types are *metadata* used by dataset generators and by
+        HeteSim's asymmetric-path handling; the formal model in the paper
+        does not type nodes, so everything works when this is empty.
+    """
+
+    def __init__(self, labels, constraints=(), node_types=None):
+        self._labels = frozenset(labels)
+        for label in self._labels:
+            if not label or not isinstance(label, str):
+                raise SchemaError(
+                    "labels must be non-empty strings, got {!r}".format(label)
+                )
+        self._constraints = tuple(constraints)
+        self._node_types = dict(node_types or {})
+        for constraint in self._constraints:
+            missing = constraint.labels() - self._labels
+            if missing:
+                raise SchemaError(
+                    "constraint {} uses labels outside the schema: {}".format(
+                        constraint, sorted(missing)
+                    )
+                )
+        for label, endpoints in self._node_types.items():
+            if label not in self._labels:
+                raise UnknownLabelError(label, self._labels)
+            if len(tuple(endpoints)) != 2:
+                raise SchemaError(
+                    "node_types[{!r}] must be a (source, target) pair".format(label)
+                )
+
+    @property
+    def labels(self):
+        """The frozen set of edge labels."""
+        return self._labels
+
+    @property
+    def constraints(self):
+        """The tuple of constraints attached to this schema."""
+        return self._constraints
+
+    @property
+    def node_types(self):
+        """Mapping label -> (source node type, target node type), may be empty."""
+        return dict(self._node_types)
+
+    def __contains__(self, item):
+        """``label in schema`` or ``constraint in schema`` (paper's notation)."""
+        if isinstance(item, str):
+            return item in self._labels
+        return item in self._constraints
+
+    def require_label(self, label):
+        """Raise :class:`UnknownLabelError` unless ``label`` is in the schema."""
+        if label not in self._labels:
+            raise UnknownLabelError(label, self._labels)
+
+    def endpoint_types(self, label):
+        """Return ``(source_type, target_type)`` for ``label`` or ``None``."""
+        self.require_label(label)
+        return self._node_types.get(label)
+
+    def nontrivial_constraints(self):
+        """Constraints that actually restrict instances (Section 6.1).
+
+        Trivial constraints (premise logically equal to conclusion) induce
+        no structural variation, so pattern generation skips them.
+        """
+        return tuple(c for c in self._constraints if not c.is_trivial())
+
+    def with_constraints(self, constraints):
+        """A copy of this schema with ``constraints`` replacing the old set."""
+        return Schema(self._labels, constraints, self._node_types)
+
+    def with_labels(self, extra_labels, extra_node_types=None):
+        """A copy of this schema with additional labels (and optional types)."""
+        node_types = dict(self._node_types)
+        node_types.update(extra_node_types or {})
+        return Schema(
+            self._labels | frozenset(extra_labels), self._constraints, node_types
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and self._constraints == other._constraints
+        )
+
+    def __hash__(self):
+        return hash((self._labels, self._constraints))
+
+    def __repr__(self):
+        return "Schema(labels={}, constraints={})".format(
+            sorted(self._labels), len(self._constraints)
+        )

@@ -1,0 +1,140 @@
+"""Algebraic simplification of RRE patterns.
+
+Algorithm 1 and the Theorem-2 mapping can emit patterns with redundant
+structure (double reversals, skips of single steps, nested epsilons).
+This module rewrites a pattern into a smaller equivalent one — where
+*equivalent* means equal commuting matrices over every database, so
+simplification never changes a RelSim score.
+
+Rules (each justified by the Section-4.3 matrix identities):
+
+* ``(p-)-            -> p``            (transpose is an involution)
+* ``(p1.p2)-         -> p2-.p1-``      (push reversal inward)
+* ``(p1+p2)-         -> p1- + p2-``
+* ``<<a>> / <<a->>   -> a / a-``       (Prop 3(2): skip of one step)
+* ``<<<<p>>>>        -> <<p>>``        (booleanizing twice)
+* ``<<eps>>          -> eps``
+* ``[eps]            -> eps``          (one instance per node either way)
+* ``eps.p / p.eps    -> p``
+* ``p+p              -> p``            (duplicate disjuncts)
+* ``(p*)*            -> p*``
+* ``eps*             -> eps``
+* nested/skip/star/concat/union simplify recursively.
+
+Deliberately *not* rewritten: ``<<p1.p2>>`` to anything (the skip of a
+composite genuinely changes counts), ``[p]`` to ``p.<<p->>`` (equal
+counts by Prop 3(5) but larger), and union flattening beyond dedup.
+"""
+
+from repro.lang.ast import (
+    Concat,
+    Conj,
+    Epsilon,
+    Label,
+    Nested,
+    Pattern,
+    Reverse,
+    Skip,
+    Star,
+    Union,
+    concat,
+)
+
+
+def simplify(pattern):
+    """Return an equivalent, usually smaller pattern (idempotent)."""
+    if not isinstance(pattern, Pattern):
+        raise TypeError("pattern must be a Pattern AST, got {!r}".format(pattern))
+    previous = None
+    current = pattern
+    # Iterate to a fixpoint; each pass strictly shrinks or stabilizes.
+    while current != previous:
+        previous = current
+        current = _simplify_once(current)
+    return current
+
+
+def _simplify_once(pattern):
+    if isinstance(pattern, (Epsilon, Label)):
+        return pattern
+
+    if isinstance(pattern, Reverse):
+        inner = _simplify_once(pattern.operand)
+        if isinstance(inner, Reverse):
+            return inner.operand
+        if isinstance(inner, Epsilon):
+            return inner
+        if isinstance(inner, Concat):
+            return Concat(
+                [Reverse(part) if not isinstance(part, Reverse) else part.operand
+                 for part in reversed(inner.parts)]
+            )
+        if isinstance(inner, Union):
+            return Union([part.reverse() for part in inner.parts])
+        if isinstance(inner, Nested):
+            return inner  # [p] is diagonal; reversal is identity
+        return Reverse(inner)
+
+    if isinstance(pattern, Star):
+        inner = _simplify_once(pattern.operand)
+        if isinstance(inner, Star):
+            return inner
+        if isinstance(inner, Epsilon):
+            return inner
+        return Star(inner)
+
+    if isinstance(pattern, Skip):
+        inner = _simplify_once(pattern.operand)
+        if isinstance(inner, Skip):
+            return Skip(inner.operand)
+        if isinstance(inner, Epsilon):
+            return inner
+        if isinstance(inner, Label):
+            return inner  # Prop 3(2)
+        if isinstance(inner, Reverse) and isinstance(inner.operand, Label):
+            return inner
+        if isinstance(inner, Nested):
+            # [p] has 0/1-free counts? No: counts can exceed 1, but the
+            # *support* is diagonal; skip makes it exactly 0/1 diagonal.
+            return Skip(inner)
+        return Skip(inner)
+
+    if isinstance(pattern, Nested):
+        inner = _simplify_once(pattern.operand)
+        if isinstance(inner, Epsilon):
+            return inner
+        return Nested(inner)
+
+    if isinstance(pattern, Concat):
+        parts = [_simplify_once(part) for part in pattern.parts]
+        parts = [part for part in parts if not isinstance(part, Epsilon)]
+        return concat(*parts)
+
+    if isinstance(pattern, Union):
+        parts = []
+        for part in pattern.parts:
+            simplified = _simplify_once(part)
+            if isinstance(simplified, Union):
+                candidates = simplified.parts
+            else:
+                candidates = (simplified,)
+            for candidate in candidates:
+                if candidate not in parts:
+                    parts.append(candidate)
+        if len(parts) == 1:
+            return parts[0]
+        return Union(parts)
+
+    if isinstance(pattern, Conj):
+        # p & p has squared counts, so only *syntactically equal* parts
+        # after simplification may be merged when idempotent is safe:
+        # they are NOT (counts multiply), so keep all parts as-is.
+        parts = [_simplify_once(part) for part in pattern.parts]
+        return Conj(parts)
+
+    raise TypeError("unhandled pattern node {!r}".format(pattern))
+
+
+def size(pattern):
+    """Total node count of the AST (a simplification progress metric)."""
+    return 1 + sum(size(child) for child in pattern.children())

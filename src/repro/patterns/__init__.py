@@ -1,0 +1,28 @@
+"""Pattern generation: Algorithms 1 & 2 and the Section-6 filters."""
+
+from repro.patterns.filters import (
+    nontrivial,
+    relevant_to_pattern,
+    select_constraints,
+    split_constraints,
+)
+from repro.patterns.generator import GenerationResult, generate_patterns
+from repro.patterns.per_constraint import (
+    Replacement,
+    label_definitions,
+    mod_pattern_refs,
+)
+from repro.patterns.traversal import enumerate_traversals
+
+__all__ = [
+    "GenerationResult",
+    "Replacement",
+    "enumerate_traversals",
+    "generate_patterns",
+    "label_definitions",
+    "mod_pattern_refs",
+    "nontrivial",
+    "relevant_to_pattern",
+    "select_constraints",
+    "split_constraints",
+]

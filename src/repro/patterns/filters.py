@@ -1,0 +1,64 @@
+"""Section-6 optimizations: constraint filtering for pattern generation.
+
+Three filters, each corresponding to a result in the paper:
+
+* **Trivial constraints** (Section 6.1 / Theorem 3): constraints whose
+  conclusion is already part of the premise restrict nothing and induce
+  no structural variation — skip them.
+* **Conclusion-label relevance** (Section 6.2 / Proposition 6): an
+  invertible transformation induced by ``phi -> (x, l, y)`` may only
+  remove edges labeled ``l``; a sub-pattern not containing ``l`` is
+  unaffected ("the algorithm ignores producing an RRE such as
+  published-in . published-in-").  So a constraint is only relevant to an
+  input pattern that mentions one of its conclusion labels.
+* **Defining constraints** (Section 6.1, end): for a constraint
+  ``phi -> (x1, l, x2)`` where ``l`` does *not* occur in ``phi``, the
+  label ``l`` is definable from the rest of the schema; the paper says to
+  replace ``l`` by the premise traversal instead of running the general
+  machinery.  :func:`split_constraints` separates those out.
+"""
+
+
+def nontrivial(constraints):
+    """Drop trivial constraints (premise already implies conclusion)."""
+    return [c for c in constraints if not c.is_trivial()]
+
+
+def relevant_to_pattern(constraints, pattern):
+    """Constraints whose conclusion labels intersect the pattern's labels."""
+    pattern_labels = pattern.labels()
+    return [
+        c for c in constraints if c.conclusion_labels() & pattern_labels
+    ]
+
+
+def split_constraints(constraints):
+    """Partition into ``(recursive, defining)`` constraints.
+
+    *Recursive* constraints mention a conclusion label in their premise
+    (like the DBLP constraint, where ``r-a`` appears on both sides) and
+    feed Algorithm 2's sub-pattern rewriting.  *Defining* constraints
+    introduce a label purely derived from others (like BioMed's
+    ``*-indirect`` labels) and are handled by direct label replacement.
+    """
+    recursive = []
+    defining = []
+    for constraint in constraints:
+        if constraint.conclusion_labels() & constraint.premise_labels():
+            recursive.append(constraint)
+        else:
+            defining.append(constraint)
+    return recursive, defining
+
+
+def select_constraints(constraints, pattern, use_filters=True):
+    """The full Section-6 pipeline: trivial + relevance filtering.
+
+    With ``use_filters=False`` only triviality is dropped (the algorithms
+    genuinely cannot do anything with a trivial constraint), which is the
+    "without optimization" configuration of the ablation benchmark.
+    """
+    constraints = nontrivial(constraints)
+    if use_filters:
+        constraints = relevant_to_pattern(constraints, pattern)
+    return constraints

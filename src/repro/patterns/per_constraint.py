@@ -1,0 +1,137 @@
+"""Algorithm 2 — ModPatternRefsPerConstraint.
+
+Given a constraint ``gamma`` and a simple pattern ``s = l'1 ... l'm``,
+find every contiguous sub-pattern ``e`` of ``s`` that occurs as a path in
+the premise graph of ``gamma`` from some variable ``v_g`` to ``v_h``, and
+pair it with every RRE ``e'`` that traverses a connected subgraph of the
+premise graph from ``v_g`` to ``v_h`` (each edge visited once).  Both
+``(e, e')`` and ``(e-, e'-)`` are emitted.
+
+The Section-6.2 conclusion-label filter is applied here when enabled:
+replacements are only produced for sub-patterns containing one of the
+constraint's conclusion labels (others can only stem from *easy*
+transformations, which never restructure anything).
+"""
+
+from repro.constraints.premise_graph import PremiseGraph
+from repro.lang.ast import simple_pattern
+
+
+class Replacement:
+    """One ``(e, e')`` rewrite option.
+
+    Attributes
+    ----------
+    start, length:
+        Position and length of the sub-pattern ``e`` within the input
+        steps it was matched against.
+    original:
+        The sub-pattern ``e`` as an AST.
+    pattern:
+        The replacement RRE ``e'``.
+    """
+
+    __slots__ = ("start", "length", "original", "pattern")
+
+    def __init__(self, start, length, original, pattern):
+        self.start = start
+        self.length = length
+        self.original = original
+        self.pattern = pattern
+
+    def __repr__(self):
+        return "Replacement({}..{}: {} => {})".format(
+            self.start,
+            self.start + self.length,
+            self.original,
+            self.pattern,
+        )
+
+
+def mod_pattern_refs(constraint, steps, max_patterns=256,
+                     conclusion_filter=True):
+    """All rewrite options for sub-patterns of ``steps`` under one tgd.
+
+    Parameters
+    ----------
+    constraint:
+        A :class:`Tgd` with an acyclic premise.
+    steps:
+        The input simple pattern as ``[(label, reversed), ...]``.
+    max_patterns:
+        Cap on traversal enumeration per matched sub-pattern.
+    conclusion_filter:
+        Apply the Section-6.2 filter (see module docstring).
+
+    Returns a list of :class:`Replacement`.  The identity rewrite (the
+    sub-pattern itself) is never included — Algorithm 1 keeps the
+    original pattern through its own "use original" branch.
+    """
+    from repro.patterns.traversal import enumerate_traversals
+
+    graph = PremiseGraph(constraint)
+    graph.require_acyclic()
+    conclusion_labels = constraint.conclusion_labels()
+
+    replacements = []
+    n = len(steps)
+    for i in range(n):
+        for j in range(i + 1, n + 1):
+            sub_steps = steps[i:j]
+            if conclusion_filter and not (
+                {name for name, _ in sub_steps} & conclusion_labels
+            ):
+                continue
+            original = simple_pattern(sub_steps)
+            seen_endpoints = set()
+            for start_var in graph.variables:
+                for end_var, _path in graph.walk_matches(
+                    start_var, sub_steps
+                ):
+                    if (start_var, end_var) in seen_endpoints:
+                        continue
+                    seen_endpoints.add((start_var, end_var))
+                    for pattern in enumerate_traversals(
+                        graph, start_var, end_var, max_patterns=max_patterns
+                    ):
+                        if pattern == original:
+                            continue
+                        replacements.append(
+                            Replacement(i, j - i, original, pattern)
+                        )
+    return replacements
+
+
+def label_definitions(constraint, max_patterns=64):
+    """Replacement patterns for a *defining* constraint's conclusion label.
+
+    For ``phi -> (x1, l, x2)`` with ``l`` not in ``phi``, the paper says
+    to replace ``l`` by the traversal of ``phi`` from ``x1`` to ``x2``
+    (Section 6.1).  Returns ``{label: [patterns...]}`` — plain traversal
+    first, skip/nested variants after.
+    """
+    from repro.patterns.traversal import enumerate_traversals
+    from repro.lang.ast import Label, Reverse
+
+    graph = PremiseGraph(constraint)
+    graph.require_acyclic()
+    definitions = {}
+    for atom in constraint.conclusion:
+        pattern = atom.pattern
+        if isinstance(pattern, Label):
+            label_name, start, end = pattern.name, atom.source, atom.target
+        elif isinstance(pattern, Reverse) and isinstance(
+            pattern.operand, Label
+        ):
+            label_name = pattern.operand.name
+            start, end = atom.target, atom.source
+        else:
+            continue
+        if label_name in constraint.premise_labels():
+            continue
+        traversals = enumerate_traversals(
+            graph, start, end, max_patterns=max_patterns
+        )
+        if traversals:
+            definitions.setdefault(label_name, []).extend(traversals)
+    return definitions

@@ -1,0 +1,221 @@
+"""Enumerating RRE traversals of a premise graph (Section 5).
+
+Algorithm 2 needs, for two variables ``v_g`` and ``v_h`` of an acyclic
+premise graph, all RREs that traverse a connected subgraph ``H``
+containing both, visiting each edge of ``H`` once:
+
+* the *spine* is the unique undirected path from ``v_g`` to ``v_h``;
+* any subset of the branch subtrees hanging off spine nodes may be
+  included (each choice of subset = one connected subgraph ``H``);
+* an included branch becomes a *nested* sub-pattern ``[q]`` inserted at
+  its attachment node, where ``q`` traverses the branch subtree (with
+  sub-branches recursively nested);
+* every simple path segment may additionally be wrapped in the *skip*
+  operator ``<<...>>`` — "each constructed p can also be written as
+  <<p>>" — which is where the robustness-restoring variants come from.
+
+The number of traversals is exponential in the premise size (the paper's
+complexity analysis says as much); ``max_patterns`` caps the enumeration
+deterministically.
+"""
+
+from repro.lang.ast import Nested, Skip, concat
+
+
+def _spine_nodes(graph, start, steps):
+    """Node sequence visited by a path of ``(edge_id, forward)`` steps."""
+    nodes = [start]
+    current = start
+    for edge_id, forward in steps:
+        source, _, target = graph.edges[edge_id]
+        current = target if forward else source
+        nodes.append(current)
+    return nodes
+
+
+def _branch_roots(graph, spine_edge_ids, node):
+    """Edges at ``node`` that leave the spine (entry points of branches)."""
+    return [
+        (edge_id, other, forward)
+        for edge_id, other, forward in graph.neighbors(node)
+        if edge_id not in spine_edge_ids
+    ]
+
+
+def _segment_variants(steps_patterns):
+    """A raw step segment: itself, or skip-wrapped (when non-empty)."""
+    if not steps_patterns:
+        return [None]
+    plain = concat(*steps_patterns)
+    return [plain, Skip(plain)]
+
+
+def _subtree_traversals(graph, node, via_edge_id, entry_pattern, child,
+                        excluded_edges, limit):
+    """All traversal patterns of the branch subtree entered via one edge.
+
+    Returns patterns describing a walk that starts at ``node``, takes the
+    entry edge to ``child`` and covers the subtree below.  Sub-branches at
+    ``child`` are recursively nested.  Each maximal raw segment may be
+    skip-wrapped.
+    """
+    excluded = excluded_edges | {via_edge_id}
+    below = [
+        (edge_id, other, forward)
+        for edge_id, other, forward in graph.neighbors(child)
+        if edge_id not in excluded
+    ]
+
+    # Entry step alone (plain or skipped).
+    if not below:
+        return _segment_variants([entry_pattern])
+
+    results = []
+    child_variant_lists = []
+    for edge_id, other, forward in below:
+        pattern = graph.edge_pattern(edge_id, forward)
+        child_variant_lists.append(
+            _subtree_traversals(
+                graph, child, edge_id, pattern, other, excluded, limit
+            )
+        )
+
+    # Every sub-branch becomes a nested op after the entry step; also try
+    # extending the entry segment into each single chain when there is
+    # exactly one sub-branch (keeps chains like a.b unnested, matching the
+    # paper's examples).
+    combos = [[]]
+    for variants in child_variant_lists:
+        combos = [
+            existing + [Nested(v)]
+            for existing in combos
+            for v in variants
+        ]
+        if len(combos) > limit:
+            combos = combos[:limit]
+    for entry_variant in _segment_variants([entry_pattern]):
+        for nested_parts in combos:
+            results.append(concat(entry_variant, *nested_parts))
+            if len(results) >= limit:
+                return results
+
+    if len(child_variant_lists) == 1:
+        # Chain continuation without nesting: entry . subtraversal.
+        for tail in child_variant_lists[0]:
+            results.append(concat(entry_pattern, tail))
+            results.append(Skip(concat(entry_pattern, tail)))
+            if len(results) >= limit:
+                return results
+
+    # Deduplicate while keeping deterministic order.
+    unique = []
+    for pattern in results:
+        if pattern not in unique:
+            unique.append(pattern)
+    return unique
+
+
+def enumerate_traversals(graph, start, end, max_patterns=256):
+    """All RREs ``start -> end`` over connected subgraphs of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        An acyclic :class:`repro.constraints.premise_graph.PremiseGraph`.
+    start, end:
+        Premise variables; the spine is the unique path between them.
+    max_patterns:
+        Deterministic cap on the number of returned patterns.
+
+    Returns a list of :class:`Pattern` objects; the plain spine pattern
+    (no branches, no skips) is always first when it exists.
+    """
+    graph.require_acyclic()
+    spine = graph.find_path(start, end)
+    if spine is None:
+        return []
+    spine_edge_ids = {edge_id for edge_id, _ in spine}
+    spine_nodes = _spine_nodes(graph, start, spine)
+
+    # Branch options per spine node: for each branch, None (excluded) or
+    # one nested traversal.
+    branch_slots = []  # aligned with spine_nodes
+    for node in spine_nodes:
+        slots_here = []
+        for edge_id, other, forward in _branch_roots(
+            graph, spine_edge_ids, node
+        ):
+            entry = graph.edge_pattern(edge_id, forward)
+            traversals = _subtree_traversals(
+                graph,
+                node,
+                edge_id,
+                entry,
+                other,
+                spine_edge_ids,
+                max_patterns,
+            )
+            slots_here.append([None] + [Nested(t) for t in traversals])
+        branch_slots.append(slots_here)
+
+    # Enumerate: walk spine nodes; maintain partial unit lists where a
+    # unit is either a raw-steps buffer or a fixed nested insertion.
+    partials = [([], [])]  # (units, raw_buffer)
+    for position, node in enumerate(spine_nodes):
+        for slot in branch_slots[position]:
+            extended = []
+            for units, buffer in partials:
+                for choice in slot:
+                    if choice is None:
+                        extended.append((list(units), list(buffer)))
+                    else:
+                        # Flush the raw buffer (it becomes one segment)
+                        # and insert the nested op.
+                        extended.append(
+                            (
+                                units + [("seg", list(buffer)), ("nest", choice)],
+                                [],
+                            )
+                        )
+                if len(extended) > max_patterns:
+                    extended = extended[:max_patterns]
+            partials = extended
+        if position < len(spine):
+            edge_id, forward = spine[position]
+            step = graph.edge_pattern(edge_id, forward)
+            partials = [
+                (units, buffer + [step]) for units, buffer in partials
+            ]
+
+    results = []
+    for units, buffer in partials:
+        units = units + [("seg", buffer)]
+        results.extend(_expand_units(units, max_patterns - len(results)))
+        if len(results) >= max_patterns:
+            break
+
+    unique = []
+    for pattern in results:
+        if pattern not in unique:
+            unique.append(pattern)
+    return unique[:max_patterns]
+
+
+def _expand_units(units, limit):
+    """Cartesian expansion of segment skip-choices within one unit list."""
+    if limit <= 0:
+        return []
+    choices = [[]]
+    for kind, payload in units:
+        if kind == "nest":
+            choices = [existing + [payload] for existing in choices]
+        else:
+            variants = _segment_variants(payload)
+            choices = [
+                existing + ([v] if v is not None else [])
+                for existing in choices
+                for v in variants
+            ]
+        if len(choices) > limit:
+            choices = choices[:limit]
+    return [concat(*parts) for parts in choices if parts]

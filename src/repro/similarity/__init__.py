@@ -1,0 +1,26 @@
+"""Similarity search algorithms: PathSim, HeteSim, SimRank, RWR, and
+pattern-constrained variants."""
+
+from repro.similarity.base import Ranking, SimilarityAlgorithm
+from repro.similarity.hetesim import HeteSim
+from repro.similarity.neighborhood import CommonNeighbors, Katz
+from repro.similarity.pathsim import PathSim, is_symmetric_meta_path
+from repro.similarity.pattern_constrained import PatternRWR, PatternSimRank
+from repro.similarity.rwr import RWR, rwr_vector
+from repro.similarity.simrank import SimRank, simrank_matrix
+
+__all__ = [
+    "CommonNeighbors",
+    "HeteSim",
+    "Katz",
+    "PathSim",
+    "PatternRWR",
+    "PatternSimRank",
+    "RWR",
+    "Ranking",
+    "SimRank",
+    "SimilarityAlgorithm",
+    "is_symmetric_meta_path",
+    "rwr_vector",
+    "simrank_matrix",
+]

@@ -1,0 +1,112 @@
+"""Shared interface for similarity search algorithms.
+
+A similarity query (Section 2) is a node id; the answer is a ranked list
+of other node ids.  Every algorithm here implements::
+
+    scores(query)            -> {node: score} over candidate nodes
+    rank(query, top_k=None)  -> Ranking (sorted, deterministic ties)
+
+Candidates default to nodes of the same type as the query (the paper
+ranks proceedings against proceedings, courses against courses) unless an
+``answer_type`` is fixed at construction (diseases ranked against drugs
+in the BioMed study).
+"""
+
+
+class Ranking:
+    """An ordered answer list with scores.
+
+    Ties are broken by node id so that rankings are deterministic — a
+    requirement for the robustness comparison to be meaningful (otherwise
+    tie shuffling would masquerade as non-robustness).
+    """
+
+    def __init__(self, scored_nodes):
+        self._items = sorted(
+            scored_nodes, key=lambda item: (-item[1], str(item[0]))
+        )
+
+    def top(self, k=None):
+        """The first ``k`` node ids (all of them when ``k`` is None)."""
+        items = self._items if k is None else self._items[:k]
+        return [node for node, _ in items]
+
+    def items(self, k=None):
+        """``(node, score)`` pairs, optionally truncated."""
+        return list(self._items if k is None else self._items[:k])
+
+    def score_of(self, node):
+        for candidate, score in self._items:
+            if candidate == node:
+                return score
+        return None
+
+    def position_of(self, node):
+        """1-based rank of ``node``; ``None`` when absent."""
+        for position, (candidate, _) in enumerate(self._items, start=1):
+            if candidate == node:
+                return position
+        return None
+
+    def __len__(self):
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self.top())
+
+    def __repr__(self):
+        preview = ", ".join(
+            "{}={:.4f}".format(node, score) for node, score in self._items[:3]
+        )
+        return "Ranking([{}{}])".format(
+            preview, ", ..." if len(self._items) > 3 else ""
+        )
+
+
+class SimilarityAlgorithm:
+    """Base class implementing candidate selection and ranking."""
+
+    #: Human-readable name used in experiment reports.
+    name = "base"
+
+    def __init__(self, database, answer_type=None):
+        self._database = database
+        self._answer_type = answer_type
+
+    @property
+    def database(self):
+        return self._database
+
+    def candidates(self, query):
+        """Nodes eligible as answers for ``query`` (never the query)."""
+        if self._answer_type is not None:
+            nodes = self._database.nodes_of_type(self._answer_type)
+        else:
+            query_type = self._database.node_type(query)
+            if query_type is None:
+                nodes = list(self._database.nodes())
+            else:
+                nodes = self._database.nodes_of_type(query_type)
+        return [node for node in nodes if node != query]
+
+    def scores(self, query):
+        """Mapping candidate -> similarity score.  Subclasses implement."""
+        raise NotImplementedError
+
+    def rank(self, query, top_k=None):
+        """Ranked answers for ``query``.
+
+        Zero-score candidates are not answers (a node with no instances
+        of the relationship is "not similar", not "similar with score
+        0"), and dropping them keeps ranked lists comparable across
+        structural variants whose isolated-node sets differ.
+        """
+        scored = [
+            (node, score)
+            for node, score in self.scores(query).items()
+            if score > 0
+        ]
+        ranking = Ranking(scored)
+        if top_k is None:
+            return ranking
+        return Ranking(ranking.items(top_k))

@@ -1,0 +1,101 @@
+"""Neighborhood-based baselines: common neighbors and the Katz-beta index.
+
+Section 4.1 lists these among the similarity measures that extend the
+random-walk family ("common neighbors, Katz-beta measure, commute time,
+and sampled random walks") and argues they inherit the same
+non-robustness: both are functions of the raw topology, which invertible
+transformations freely reshape.  They are included as additional
+baselines for the robustness experiments.
+"""
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+from repro.graph.matrices import MatrixView, boolean
+from repro.similarity.base import SimilarityAlgorithm
+
+
+class CommonNeighbors(SimilarityAlgorithm):
+    """Score = number of shared neighbors in the symmetrized topology.
+
+    ``score(u, v) = | N(u) ∩ N(v) |`` with ``N`` taken over all labels in
+    both directions.  Computed as a row of ``B @ B`` where ``B`` is the
+    boolean symmetric adjacency.
+    """
+
+    name = "CommonNeighbors"
+
+    def __init__(self, database, answer_type=None, view=None):
+        super().__init__(database, answer_type=answer_type)
+        self._view = view or MatrixView(database)
+        self._boolean = boolean(
+            self._view.combined_adjacency(symmetric=True)
+        )
+
+    def scores(self, query):
+        indexer = self._view.indexer
+        row = self._boolean[indexer.index_of(query), :]
+        counts = np.asarray((row @ self._boolean).todense()).ravel()
+        return {
+            node: float(counts[indexer.index_of(node)])
+            for node in self.candidates(query)
+            if node in indexer
+        }
+
+
+class Katz(SimilarityAlgorithm):
+    """The Katz-beta status index (Katz, Psychometrika 1953).
+
+    ``score(u, v) = sum_k beta^k * (#walks of length k from u to v)``,
+    i.e. row ``u`` of ``(I - beta A)^{-1} - I``.  Computed per query by
+    the geometric power series, which converges when
+    ``beta < 1 / lambda_max(A)``; we validate against the (cheap) upper
+    bound ``lambda_max <= max degree`` and raise otherwise.
+    """
+
+    name = "Katz"
+
+    def __init__(
+        self,
+        database,
+        beta=0.005,
+        max_iterations=1000,
+        tolerance=1e-10,
+        answer_type=None,
+        view=None,
+    ):
+        super().__init__(database, answer_type=answer_type)
+        if beta <= 0:
+            raise EvaluationError("beta must be positive, got {}".format(beta))
+        self._view = view or MatrixView(database)
+        adjacency = self._view.combined_adjacency(symmetric=True)
+        max_degree = (
+            adjacency.sum(axis=1).max() if adjacency.nnz else 0.0
+        )
+        if beta * max_degree >= 1.0:
+            raise EvaluationError(
+                "beta={} does not converge: beta * max_degree = {:.3f} >= 1; "
+                "choose beta < {:.5f}".format(
+                    beta, float(beta * max_degree), 1.0 / max(max_degree, 1)
+                )
+            )
+        self._adjacency = adjacency.T.tocsr()
+        self.beta = beta
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+
+    def scores(self, query):
+        indexer = self._view.indexer
+        term = np.zeros(len(indexer))
+        term[indexer.index_of(query)] = 1.0
+        total = np.zeros_like(term)
+        for _ in range(self._max_iterations):
+            term = self.beta * (self._adjacency @ term)
+            total += term
+            if term.sum() < self._tolerance:
+                break
+        return {
+            node: float(total[indexer.index_of(node)])
+            for node in self.candidates(query)
+            if node in indexer
+        }

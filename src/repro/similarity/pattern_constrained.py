@@ -1,0 +1,114 @@
+"""Pattern-constrained RWR and SimRank (Proposition 4).
+
+The paper extends RWR and SimRank so that a "hop" is an instance of a
+given relationship pattern instead of a single edge: build the weight
+matrix ``W = M_p`` from the pattern's commuting matrix, then run the
+ordinary algorithm on that weighted graph.  With RRE patterns, these
+variants inherit RelSim's structural robustness (Proposition 4) — the
+weight matrices are equal across invertible variations, so the walks are
+identical.
+"""
+
+from repro.lang.ast import Pattern
+from repro.lang.matrix_semantics import CommutingMatrixEngine
+from repro.lang.parser import parse_pattern
+from repro.graph.matrices import row_normalize
+from repro.similarity.base import SimilarityAlgorithm
+from repro.similarity.rwr import rwr_vector
+from repro.similarity.simrank import simrank_matrix
+
+
+def _pattern_and_engine(database, pattern, engine):
+    if isinstance(pattern, str):
+        pattern = parse_pattern(pattern)
+    if not isinstance(pattern, Pattern):
+        raise TypeError("pattern must be a string or Pattern AST")
+    engine = engine or CommutingMatrixEngine(database)
+    return pattern, engine
+
+
+class PatternRWR(SimilarityAlgorithm):
+    """RWR whose hops follow instances of one RRE pattern.
+
+    The walk matrix is the row-normalized commuting matrix of the
+    pattern, symmetrized so the walk can follow the relationship both
+    ways (``W = M_p + M_p^T`` before normalization).
+    """
+
+    name = "PatternRWR"
+
+    def __init__(
+        self,
+        database,
+        pattern,
+        restart=0.8,
+        engine=None,
+        answer_type=None,
+        max_iterations=200,
+    ):
+        super().__init__(database, answer_type=answer_type)
+        self.pattern, self.engine = _pattern_and_engine(
+            database, pattern, engine
+        )
+        weights = self.engine.matrix(self.pattern)
+        weights = weights + weights.T
+        self._walk = row_normalize(weights)
+        self.restart = restart
+        self._max_iterations = max_iterations
+
+    def scores(self, query):
+        indexer = self.engine.indexer
+        vector = rwr_vector(
+            self._walk,
+            indexer.index_of(query),
+            restart=self.restart,
+            max_iterations=self._max_iterations,
+        )
+        return {
+            node: float(vector[indexer.index_of(node)])
+            for node in self.candidates(query)
+            if node in indexer
+        }
+
+
+class PatternSimRank(SimilarityAlgorithm):
+    """SimRank whose hops follow instances of one RRE pattern."""
+
+    name = "PatternSimRank"
+
+    def __init__(
+        self,
+        database,
+        pattern,
+        damping=0.8,
+        iterations=10,
+        engine=None,
+        answer_type=None,
+        max_nodes=5000,
+    ):
+        super().__init__(database, answer_type=answer_type)
+        self.pattern, self.engine = _pattern_and_engine(
+            database, pattern, engine
+        )
+        n = len(self.engine.indexer)
+        if n > max_nodes:
+            from repro.exceptions import EvaluationError
+
+            raise EvaluationError(
+                "PatternSimRank needs a dense {0}x{0} matrix; over "
+                "max_nodes={1}".format(n, max_nodes)
+            )
+        weights = self.engine.matrix(self.pattern)
+        weights = weights + weights.T
+        self._scores = simrank_matrix(
+            weights, damping=damping, iterations=iterations
+        )
+
+    def scores(self, query):
+        indexer = self.engine.indexer
+        row = self._scores[indexer.index_of(query), :]
+        return {
+            node: float(row[indexer.index_of(node)])
+            for node in self.candidates(query)
+            if node in indexer
+        }

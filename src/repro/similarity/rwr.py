@@ -1,0 +1,94 @@
+"""Random walk with restart (Tong, Faloutsos & Pan, ICDM 2006).
+
+The RWR score of ``v`` for query ``u`` is the steady-state probability of
+a random walk that, at each step, returns to ``u`` with the restart
+probability ``c`` and otherwise moves to a uniformly random neighbor.
+Fixed point: ``r = c e_u + (1 - c) W^T r`` with ``W`` the row-stochastic
+walk matrix.
+
+The paper uses restart probability 0.8 and applies RWR to multi-label
+graphs by walking the union of all edge (both directions — similarity
+should not depend on edge orientation conventions).  Proposition 4's
+pattern-constrained extension is in
+:mod:`repro.similarity.pattern_constrained`.
+"""
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+from repro.graph.matrices import MatrixView, row_normalize
+from repro.similarity.base import SimilarityAlgorithm
+
+
+def rwr_vector(walk_matrix, start_index, restart=0.8, tolerance=1e-10,
+               max_iterations=200):
+    """Solve ``r = restart * e + (1 - restart) * W^T r`` by power iteration.
+
+    ``walk_matrix`` must be row-stochastic (rows of all-zero are allowed:
+    mass restarting from dead ends is returned to the query, the standard
+    fix for dangling nodes).
+    """
+    n = walk_matrix.shape[0]
+    restart_vector = np.zeros(n)
+    restart_vector[start_index] = 1.0
+    rank = restart_vector.copy()
+    transpose = walk_matrix.T.tocsr()
+    for _ in range(max_iterations):
+        spread = transpose @ rank
+        # Mass sitting at dangling nodes (all-zero rows) restarts too.
+        lost = max(rank.sum() - spread.sum(), 0.0)
+        updated = restart * restart_vector + (1.0 - restart) * spread
+        updated[start_index] += (1.0 - restart) * lost
+        if np.abs(updated - rank).sum() < tolerance:
+            return updated
+        rank = updated
+    return rank
+
+
+class RWR(SimilarityAlgorithm):
+    """Random walk with restart over the full (symmetrized) topology.
+
+    Parameters
+    ----------
+    restart:
+        The restart probability ``c`` (paper setting: 0.8).
+    symmetric:
+        Walk edges in both directions (default True, the usual convention
+        for similarity over heterogeneous graphs).
+    """
+
+    name = "RWR"
+
+    def __init__(
+        self,
+        database,
+        restart=0.8,
+        symmetric=True,
+        answer_type=None,
+        view=None,
+        max_iterations=200,
+    ):
+        super().__init__(database, answer_type=answer_type)
+        if not 0 < restart < 1:
+            raise EvaluationError(
+                "restart probability must be in (0, 1), got {}".format(restart)
+            )
+        self.restart = restart
+        self._view = view or MatrixView(database)
+        adjacency = self._view.combined_adjacency(symmetric=symmetric)
+        self._walk = row_normalize(adjacency)
+        self._max_iterations = max_iterations
+
+    def scores(self, query):
+        indexer = self._view.indexer
+        vector = rwr_vector(
+            self._walk,
+            indexer.index_of(query),
+            restart=self.restart,
+            max_iterations=self._max_iterations,
+        )
+        return {
+            node: float(vector[indexer.index_of(node)])
+            for node in self.candidates(query)
+            if node in indexer
+        }

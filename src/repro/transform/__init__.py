@@ -1,0 +1,48 @@
+"""Schema transformations: mappings, composition, inverses, catalog."""
+
+from repro.transform.catalog import (
+    EXPERIMENT_PATTERNS,
+    biomedt,
+    biomedt_lossy,
+    dblp2sigm,
+    dblp2sigm_lossy,
+    dblp2sigmx,
+    wsuc2alch,
+)
+from repro.transform.chase import chase, chase_delta, repair_report
+from repro.transform.compose import compose_inverse, derived_source_constraints
+from repro.transform.invertibility import (
+    check_invertible_on,
+    roundtrip,
+    verify_derived_constraints,
+    verify_roundtrip,
+)
+from repro.transform.lossy import LossyTransformation, drop_edges
+from repro.transform.mapping import Rule, SchemaMapping, copy_rule
+from repro.transform.pattern_mapping import label_substitutions, map_pattern
+
+__all__ = [
+    "EXPERIMENT_PATTERNS",
+    "LossyTransformation",
+    "Rule",
+    "SchemaMapping",
+    "biomedt",
+    "biomedt_lossy",
+    "chase",
+    "chase_delta",
+    "check_invertible_on",
+    "compose_inverse",
+    "copy_rule",
+    "dblp2sigm",
+    "dblp2sigm_lossy",
+    "dblp2sigmx",
+    "derived_source_constraints",
+    "drop_edges",
+    "label_substitutions",
+    "map_pattern",
+    "repair_report",
+    "roundtrip",
+    "verify_derived_constraints",
+    "verify_roundtrip",
+    "wsuc2alch",
+]

@@ -1,0 +1,141 @@
+"""Composition of schema mappings and derived source constraints.
+
+Proposition 1: for an invertible ``Sigma_ST`` every source database
+satisfies ``Sigma_ST^{-1} o Sigma_ST`` — a set of (full) tgds over the
+source schema.  This module implements the paper's syntactic composition
+for the first-order-expressible case (Section 3.2.2): each single-label
+atom in an inverse rule's premise is replaced by the premise of a forward
+rule whose conclusion produces that label.
+
+The derived constraints are what :func:`repro.patterns` feeds Algorithm 2
+with, and what dataset generators must uphold for the catalog
+transformations to be invertible.
+"""
+
+import itertools
+
+from repro.constraints.premise_graph import normalize_atoms
+from repro.constraints.tgd import Atom, Tgd
+from repro.exceptions import TransformationError
+from repro.lang.ast import Label, Reverse
+
+
+def _single_label(pattern):
+    """``(label, reversed?)`` when the pattern is one step, else ``None``."""
+    if isinstance(pattern, Label):
+        return pattern.name, False
+    if isinstance(pattern, Reverse) and isinstance(pattern.operand, Label):
+        return pattern.operand.name, True
+    return None
+
+
+def _producers(mapping, label_name):
+    """Rules of ``mapping`` whose conclusion constructs ``label_name``.
+
+    Returns ``[(rule, source_var, target_var)]`` where the variables are
+    the endpoints of the produced edge in the rule's own vocabulary.
+    """
+    producers = []
+    for rule in mapping.rules:
+        for atom in rule.conclusion:
+            step = _single_label(atom.pattern)
+            if step is None:
+                continue
+            name, reversed_ = step
+            if name != label_name:
+                continue
+            if reversed_:
+                producers.append((rule, atom.target, atom.source))
+            else:
+                producers.append((rule, atom.source, atom.target))
+    return producers
+
+
+def compose_inverse(mapping):
+    """The tgds ``Sigma^{-1} o Sigma`` over the source schema.
+
+    For every inverse rule, every choice of forward-rule producer for each
+    of its premise atoms yields one composed constraint: substitute each
+    premise atom by the chosen producer's premise (variables freshly
+    renamed, endpoints unified), keep the inverse rule's conclusion.
+
+    Raises :class:`TransformationError` when a premise atom's label has no
+    producer (the composition would not be first-order expressible the
+    way the paper requires) or when the producer's edge endpoints are
+    existential (second-order case, explicitly out of scope).
+    """
+    inverse = mapping.inverse
+    if inverse is None:
+        raise TransformationError(
+            "mapping {!r} has no attached inverse".format(mapping.name)
+        )
+
+    constraints = []
+    for inverse_rule in inverse.rules:
+        atoms = [
+            Atom(s, p, t) for s, p, t in normalize_atoms(inverse_rule.premise)
+        ]
+        options = []
+        for atom in atoms:
+            step = _single_label(atom.pattern)
+            if step is None:
+                raise TransformationError(
+                    "inverse-rule premise atom {} is not a single label; "
+                    "normalize it first".format(atom)
+                )
+            name, reversed_ = step
+            producers = _producers(mapping, name)
+            if not producers:
+                raise TransformationError(
+                    "no forward rule of {!r} produces label {!r}".format(
+                        mapping.name, name
+                    )
+                )
+            atom_options = []
+            for rule, src_var, tgt_var in producers:
+                if {src_var, tgt_var} & rule.existential_variables():
+                    raise TransformationError(
+                        "label {!r} is produced on an existential node by "
+                        "{}; the composition needs second-order logic "
+                        "(Section 3.2.2) and is unsupported".format(name, rule)
+                    )
+                endpoints = (
+                    (atom.target, atom.source)
+                    if reversed_
+                    else (atom.source, atom.target)
+                )
+                atom_options.append((rule, src_var, tgt_var, endpoints))
+            options.append(atom_options)
+
+        for choice in itertools.product(*options):
+            premise = []
+            for index, (rule, src_var, tgt_var, endpoints) in enumerate(choice):
+                renaming = _fresh_renaming(rule, index)
+                renaming[src_var] = endpoints[0]
+                renaming[tgt_var] = endpoints[1]
+                for atom in rule.premise:
+                    premise.append(atom.rename(renaming))
+            conclusion = list(inverse_rule.conclusion)
+            constraints.append(Tgd(premise, conclusion))
+    return constraints
+
+
+def _fresh_renaming(rule, index):
+    """Rename a producer rule's internal variables apart per atom slot."""
+    return {
+        variable: "_c{}_{}".format(index, variable)
+        for variable in rule.premise_variables()
+    }
+
+
+def derived_source_constraints(mapping, keep_trivial=False):
+    """Composed constraints, with trivial ones filtered by default.
+
+    Copy rules compose to ``(x, l, y) -> (x, l, y)`` which restricts
+    nothing (Section 6.1); pattern generation ignores them, so we drop
+    them here unless asked otherwise.
+    """
+    constraints = compose_inverse(mapping)
+    if keep_trivial:
+        return constraints
+    return [c for c in constraints if not c.is_trivial()]

@@ -1,0 +1,79 @@
+"""Invertibility checks for transformations.
+
+Deciding invertibility is coNP-hard in general (Theorem 1), so the
+library offers two practical tools:
+
+* :func:`verify_roundtrip` — checks ``Sigma^{-1}(Sigma(I)) == I`` for one
+  concrete database (exact node and edge sets, per the paper's strict
+  inverse definition).
+* :func:`verify_derived_constraints` — checks ``I |= Sigma^{-1} o Sigma``
+  (Proposition 1's necessary condition) for one database.
+
+The test suite runs these over the dataset generators and the catalog
+transformations; research code can use them to validate hand-written
+mappings on samples before trusting Theorem-2 pattern mappings.
+"""
+
+from repro.constraints.evaluation import satisfies
+from repro.exceptions import NotInvertibleError, TransformationError
+from repro.graph.matrices import MatrixView
+from repro.transform.compose import derived_source_constraints
+
+
+def roundtrip(mapping, database, multiplicity=1):
+    """``Sigma^{-1}(Sigma(I))`` — the inverse applied to the image."""
+    if mapping.inverse is None:
+        raise TransformationError(
+            "mapping {!r} has no attached inverse".format(mapping.name)
+        )
+    image = mapping.apply(database, multiplicity=multiplicity)
+    return mapping.inverse.apply(image)
+
+
+def verify_roundtrip(mapping, database, multiplicity=1, raise_on_failure=False):
+    """True when the roundtrip reproduces ``database`` exactly.
+
+    ``multiplicity > 1`` exercises the "one database maps to many" case:
+    the inverse must still map every member of ``Sigma(I)`` back to ``I``.
+    Isolated source nodes (no incident edges) cannot be reconstructed by
+    any edge-building rule and are compared on edge sets only; the
+    generators never produce them.
+    """
+    recovered = roundtrip(mapping, database, multiplicity=multiplicity)
+    ok = recovered.edge_set() == database.edge_set()
+    if not ok and raise_on_failure:
+        missing = database.edge_set() - recovered.edge_set()
+        extra = recovered.edge_set() - database.edge_set()
+        raise NotInvertibleError(
+            "roundtrip through {!r} lost {} edges and invented {} "
+            "(e.g. lost={}, extra={})".format(
+                mapping.name,
+                len(missing),
+                len(extra),
+                sorted(missing)[:3],
+                sorted(extra)[:3],
+            )
+        )
+    return ok
+
+
+def verify_derived_constraints(mapping, database, raise_on_failure=False):
+    """Check Proposition 1: ``I |= Sigma^{-1} o Sigma``."""
+    view = MatrixView(database)
+    for constraint in derived_source_constraints(mapping):
+        if not satisfies(view, constraint):
+            if raise_on_failure:
+                raise NotInvertibleError(
+                    "database violates derived constraint {}".format(constraint)
+                )
+            return False
+    return True
+
+
+def check_invertible_on(mapping, databases, multiplicity=1):
+    """Batch check over sample databases; returns the failing ones."""
+    failures = []
+    for database in databases:
+        if not verify_roundtrip(mapping, database, multiplicity=multiplicity):
+            failures.append(database)
+    return failures

@@ -1,0 +1,86 @@
+"""Lossy perturbations of transformed databases.
+
+Section 7.1's DBLP2SIGM(.95) and BioMedT(.95) first restructure a
+database and then randomly remove 5% of the edges of the result —
+modeling real-world transformations that are *not* information
+preserving.  RelSim is no longer provably robust there; the experiment
+measures how gracefully each algorithm degrades.
+"""
+
+import random
+
+from repro.exceptions import TransformationError
+
+
+def drop_edges(database, fraction, seed=0, protected_labels=()):
+    """A copy of ``database`` with ``fraction`` of its edges removed.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of the *total* edge count to delete, in ``[0, 1)``.
+    seed:
+        RNG seed; the same seed always deletes the same edges.
+    protected_labels:
+        Labels whose edges are never deleted (useful to keep the query
+        workload meaningful, e.g. never orphan every query node).
+    """
+    if not 0 <= fraction < 1:
+        raise TransformationError(
+            "fraction must be in [0, 1), got {!r}".format(fraction)
+        )
+    protected = set(protected_labels)
+    candidates = [
+        edge for edge in database.edges() if edge[1] not in protected
+    ]
+    rng = random.Random(seed)
+    amount = int(round(fraction * database.num_edges()))
+    amount = min(amount, len(candidates))
+    victims = rng.sample(candidates, amount)
+    result = database.copy()
+    for edge in victims:
+        result.remove_edge(*edge)
+    return result
+
+
+class LossyTransformation:
+    """A transformation followed by random edge deletion.
+
+    Mirrors the paper's ``<name>(.95)`` notation: ``keep=0.95`` deletes
+    5% of the transformed database's edges.
+    """
+
+    def __init__(self, mapping, keep=0.95, seed=0, protected_labels=()):
+        if not 0 < keep <= 1:
+            raise TransformationError(
+                "keep must be in (0, 1], got {!r}".format(keep)
+            )
+        self.mapping = mapping
+        self.keep = keep
+        self.seed = seed
+        self.protected_labels = tuple(protected_labels)
+
+    @property
+    def name(self):
+        return "{}({:.2f})".format(self.mapping.name, self.keep)
+
+    @property
+    def source(self):
+        return self.mapping.source
+
+    @property
+    def target(self):
+        return self.mapping.target
+
+    @property
+    def inverse(self):
+        return self.mapping.inverse
+
+    def apply(self, database, multiplicity=1):
+        transformed = self.mapping.apply(database, multiplicity=multiplicity)
+        return drop_edges(
+            transformed,
+            1.0 - self.keep,
+            seed=self.seed,
+            protected_labels=self.protected_labels,
+        )

@@ -1,0 +1,231 @@
+"""Schema mappings: declarative transformations between graph schemas.
+
+A transformation ``Sigma_ST`` (Section 3.2.1) is a finite set of rules
+``phi_S(x) -> psi_T(y)`` where ``phi_S`` is a conjunctive RPQ over the
+source schema, ``psi_T`` one over the target, and every conclusion
+variable is either universally bound by the premise or existential.
+
+We apply mappings under the paper's **closed-world** semantics: the
+target database contains exactly the nodes and edges constructed by the
+rules.  Existentially quantified conclusion variables mint fresh nodes —
+one per distinct binding of the universal variables appearing in the same
+conclusion (deterministic, so the transformation is reproducible), with a
+``multiplicity`` knob to realize the "maps one database to many" aspect
+of the definition.
+"""
+
+from repro.constraints.evaluation import match_conjunctive
+from repro.constraints.premise_graph import normalize_atoms
+from repro.constraints.tgd import Atom
+from repro.exceptions import TransformationError
+from repro.graph.database import GraphDatabase
+from repro.graph.matrices import MatrixView
+from repro.lang.ast import Label, Reverse
+
+
+class Rule:
+    """One mapping rule ``premise -> conclusion``.
+
+    Parameters
+    ----------
+    premise:
+        Iterable of :class:`Atom` over the source schema (full RRE
+        patterns are allowed; they are evaluated booleanly).
+    conclusion:
+        Iterable of :class:`Atom` over the target schema.  After
+        normalizing concatenations apart, every conclusion atom must be a
+        single (possibly reversed) label — that is what "constructing an
+        edge" means.
+    fresh_types:
+        Optional mapping from existential variable name to the node type
+        the minted nodes should carry.
+    """
+
+    def __init__(self, premise, conclusion, fresh_types=None):
+        self.premise = tuple(premise)
+        self.conclusion = tuple(
+            Atom(s, p, t) for s, p, t in normalize_atoms(conclusion)
+        )
+        self.fresh_types = dict(fresh_types or {})
+        for atom in self.conclusion:
+            if not self._is_edge_pattern(atom.pattern):
+                raise TransformationError(
+                    "conclusion atom {} does not construct a single edge".format(
+                        atom
+                    )
+                )
+
+    @staticmethod
+    def _is_edge_pattern(pattern):
+        if isinstance(pattern, Label):
+            return True
+        return isinstance(pattern, Reverse) and isinstance(
+            pattern.operand, Label
+        )
+
+    def premise_variables(self):
+        variables = set()
+        for atom in self.premise:
+            variables |= atom.variables()
+        return variables
+
+    def conclusion_variables(self):
+        variables = set()
+        for atom in self.conclusion:
+            variables |= atom.variables()
+        return variables
+
+    def existential_variables(self):
+        return self.conclusion_variables() - self.premise_variables()
+
+    def conclusion_labels(self):
+        labels = set()
+        for atom in self.conclusion:
+            labels |= atom.labels()
+        return labels
+
+    def is_copy_rule(self):
+        """True for identity rules ``(x, l, y) -> (x, l, y)``."""
+        return (
+            len(self.premise) == 1
+            and len(self.conclusion) == 1
+            and self.premise[0] == self.conclusion[0]
+        )
+
+    def __str__(self):
+        return "{} -> {}".format(
+            " & ".join(str(a) for a in self.premise),
+            " & ".join(str(a) for a in self.conclusion),
+        )
+
+    def __repr__(self):
+        return "Rule({!r})".format(str(self))
+
+
+def copy_rule(label_name):
+    """The identity rule for one label."""
+    atom = Atom("x1", Label(label_name), "x2")
+    return Rule([atom], [atom])
+
+
+class SchemaMapping:
+    """A named transformation from ``source`` schema to ``target`` schema."""
+
+    def __init__(self, name, source, target, rules, inverse=None):
+        self.name = name
+        self.source = source
+        self.target = target
+        self.rules = tuple(rules)
+        self._inverse = inverse
+        for rule in self.rules:
+            missing_src = {
+                lab for atom in rule.premise for lab in atom.labels()
+            } - source.labels
+            if missing_src:
+                raise TransformationError(
+                    "rule {} uses labels {} not in the source schema".format(
+                        rule, sorted(missing_src)
+                    )
+                )
+            missing_tgt = rule.conclusion_labels() - target.labels
+            if missing_tgt:
+                raise TransformationError(
+                    "rule {} produces labels {} not in the target schema".format(
+                        rule, sorted(missing_tgt)
+                    )
+                )
+
+    @property
+    def inverse(self):
+        """The inverse mapping, when one has been attached."""
+        return self._inverse
+
+    def with_inverse(self, inverse):
+        """Return self after attaching ``inverse`` (fluent helper)."""
+        self._inverse = inverse
+        return self
+
+    # ------------------------------------------------------------------
+    # Application (closed world)
+    # ------------------------------------------------------------------
+    def apply(self, database, multiplicity=1, fresh_prefix=None):
+        """Transform ``database`` into a database of the target schema.
+
+        Parameters
+        ----------
+        multiplicity:
+            How many fresh nodes to mint per existential variable and
+            binding.  ``1`` picks the canonical member of ``Sigma(I)``;
+            larger values realize other members (more keyword nodes for
+            the same paper, in the paper's example).
+        fresh_prefix:
+            Prefix for minted node ids; defaults to the mapping name.
+
+        Node types are carried over for preserved node ids and taken from
+        each rule's ``fresh_types`` for minted nodes.
+        """
+        if multiplicity < 1:
+            raise TransformationError("multiplicity must be >= 1")
+        prefix = fresh_prefix if fresh_prefix is not None else self.name
+        view = MatrixView(database)
+        result = GraphDatabase(self.target)
+
+        for rule_index, rule in enumerate(self.rules):
+            existential = rule.existential_variables()
+            for binding in match_conjunctive(view, rule.premise):
+                for copy_index in range(multiplicity):
+                    full = dict(binding)
+                    for variable in sorted(existential):
+                        full[variable] = self._fresh_id(
+                            prefix, rule_index, variable, binding, copy_index
+                        )
+                    for atom in rule.conclusion:
+                        source_id = full[atom.source]
+                        target_id = full[atom.target]
+                        if isinstance(atom.pattern, Reverse):
+                            label = atom.pattern.operand.name
+                            source_id, target_id = target_id, source_id
+                        else:
+                            label = atom.pattern.name
+                        result.add_edge(source_id, label, target_id)
+                        for node_id, variable in (
+                            (source_id, atom.source),
+                            (target_id, atom.target),
+                        ):
+                            self._set_type(
+                                result, database, rule, node_id, variable
+                            )
+                    if not existential:
+                        break  # copies would be identical; edges are a set
+
+        return result
+
+    @staticmethod
+    def _fresh_id(prefix, rule_index, variable, binding, copy_index):
+        anchor = ",".join(
+            "{}={}".format(k, binding[k]) for k in sorted(binding)
+        )
+        return "{}:r{}:{}:{}#{}".format(
+            prefix, rule_index, variable, anchor, copy_index
+        )
+
+    @staticmethod
+    def _set_type(result, database, rule, node_id, variable):
+        if database.has_node(node_id):
+            node_type = database.node_type(node_id)
+        else:
+            node_type = rule.fresh_types.get(variable)
+        if node_type is not None:
+            result.add_node(node_id, node_type)
+
+    # ------------------------------------------------------------------
+    def preserved_labels(self):
+        """Labels copied verbatim by an identity rule."""
+        return {
+            rule.conclusion[0].pattern.name
+            for rule in self.rules
+            if rule.is_copy_rule()
+        }
+
+    def __repr__(self):
+        return "SchemaMapping({!r}, rules={})".format(self.name, len(self.rules))

@@ -1,0 +1,63 @@
+"""Shared fixtures: the Figure-1 running example and small generators."""
+
+import pytest
+
+from repro.datasets import (
+    figure1_dblp,
+    generate_biomed_small,
+    generate_dblp_small,
+    generate_mas,
+    generate_wsu,
+)
+from repro.graph import GraphDatabase, Schema
+
+
+@pytest.fixture
+def fig1():
+    """The exact DBLP fragment of the paper's Figure 1(a)."""
+    return figure1_dblp()
+
+
+@pytest.fixture
+def tiny_schema():
+    return Schema(["a", "b", "c"])
+
+
+@pytest.fixture
+def tiny_db(tiny_schema):
+    """A small hand-made graph exercising every structural situation:
+    fan-out, fan-in, a 2-cycle on label c, parallel labels, self loop."""
+    db = GraphDatabase(tiny_schema)
+    db.add_edges(
+        [
+            (1, "a", 2),
+            (1, "a", 3),
+            (2, "b", 4),
+            (3, "b", 4),
+            (4, "c", 5),
+            (5, "c", 4),
+            (1, "b", 2),
+            (2, "a", 2),
+        ]
+    )
+    return db
+
+
+@pytest.fixture(scope="session")
+def dblp_small():
+    return generate_dblp_small(seed=7)
+
+
+@pytest.fixture(scope="session")
+def wsu_bundle():
+    return generate_wsu(seed=7)
+
+
+@pytest.fixture(scope="session")
+def biomed_bundle():
+    return generate_biomed_small(seed=7)
+
+
+@pytest.fixture(scope="session")
+def mas_bundle():
+    return generate_mas(seed=7)

@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def dblp_json(tmp_path):
+    path = os.path.join(tmp_path, "dblp.json")
+    code, _ = run_cli(
+        ["generate", "--dataset", "dblp-small", "--seed", "3", "--out", path]
+    )
+    assert code == 0
+    return path
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_writes_file(tmp_path):
+    path = os.path.join(tmp_path, "db.json")
+    code, output = run_cli(
+        ["generate", "--dataset", "wsu", "--out", path]
+    )
+    assert code == 0
+    assert os.path.exists(path)
+    assert "nodes" in output
+
+
+def test_generate_deterministic(tmp_path):
+    a = os.path.join(tmp_path, "a.json")
+    b = os.path.join(tmp_path, "b.json")
+    run_cli(["generate", "--dataset", "wsu", "--seed", "9", "--out", a])
+    run_cli(["generate", "--dataset", "wsu", "--seed", "9", "--out", b])
+    assert open(a).read() == open(b).read()
+
+
+def test_stats(dblp_json):
+    code, output = run_cli(["stats", dblp_json])
+    assert code == 0
+    assert "nodes" in output
+    assert "r-a" in output
+    assert "paper" in output
+
+
+def test_stats_missing_file():
+    code, _ = run_cli(["stats", "/nonexistent/db.json"])
+    assert code == 2
+
+
+def test_query(dblp_json):
+    code, output = run_cli(
+        [
+            "query",
+            dblp_json,
+            "--pattern",
+            "p-in-.r-a.r-a-.p-in",
+            "--node",
+            "proc:0",
+            "--top",
+            "5",
+        ]
+    )
+    assert code == 0
+    lines = [line for line in output.splitlines() if line.strip()]
+    assert 1 <= len(lines) <= 5
+    assert "proc:" in output
+
+
+def test_query_bad_pattern(dblp_json):
+    code, _ = run_cli(
+        ["query", dblp_json, "--pattern", "((", "--node", "proc:0"]
+    )
+    assert code == 2
+
+
+def test_query_unknown_node(dblp_json):
+    code, _ = run_cli(
+        ["query", dblp_json, "--pattern", "r-a", "--node", "ghost"]
+    )
+    assert code == 2
+
+
+def test_transform(dblp_json, tmp_path):
+    out_path = os.path.join(tmp_path, "sigm.json")
+    code, output = run_cli(
+        ["transform", dblp_json, "--mapping", "dblp2sigm", "--out", out_path]
+    )
+    assert code == 0
+    assert os.path.exists(out_path)
+    assert "DBLP2SIGM" in output
+
+    # The transformed database answers queries with the target pattern.
+    code, output = run_cli(
+        [
+            "query",
+            out_path,
+            "--pattern",
+            "r-a.r-a-",
+            "--node",
+            "proc:0",
+        ]
+    )
+    assert code == 0
+
+
+def test_patterns(dblp_json):
+    code, output = run_cli(
+        ["patterns", dblp_json, "--pattern", "r-a-.p-in.p-in-.r-a",
+         "--max", "8"]
+    )
+    assert code == 0
+    assert "E_p" in output
+    assert "r-a-.p-in.p-in-.r-a" in output
+
+
+def test_patterns_no_filters_flag(dblp_json):
+    code, output = run_cli(
+        [
+            "patterns",
+            dblp_json,
+            "--pattern",
+            "p-in.p-in-",
+            "--no-filters",
+            "--max",
+            "8",
+        ]
+    )
+    assert code == 0
+    assert "constraints used" in output
+
+
+def test_robustness_command():
+    code, output = run_cli(
+        [
+            "robustness",
+            "--dataset",
+            "dblp-small",
+            "--mapping",
+            "dblp2sigm",
+            "--queries",
+            "5",
+        ]
+    )
+    assert code == 0
+    assert "RelSim" in output
+    # RelSim's row must be exactly zero.
+    relsim_line = next(
+        line for line in output.splitlines() if line.startswith("RelSim")
+    )
+    assert "0.000" in relsim_line
+
+
+def test_unknown_dataset_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["generate", "--dataset", "nope", "--out", "x.json"]
+        )

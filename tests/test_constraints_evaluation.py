@@ -1,0 +1,181 @@
+"""Unit tests for CRPQ evaluation and constraint satisfaction."""
+
+import pytest
+
+from repro.constraints import (
+    Atom,
+    match_conjunctive,
+    parse_tgd,
+    rpq_pairs,
+    satisfies,
+    violating_matches,
+)
+from repro.graph import GraphDatabase, Schema
+from repro.lang import parse_pattern
+
+
+def test_rpq_pairs_single_label(tiny_db):
+    assert rpq_pairs(tiny_db, parse_pattern("a")) == {
+        (1, 2),
+        (1, 3),
+        (2, 2),
+    }
+
+
+def test_rpq_pairs_concat(tiny_db):
+    assert rpq_pairs(tiny_db, parse_pattern("a.b")) == {(1, 4), (2, 4)}
+
+
+def test_rpq_pairs_reverse(tiny_db):
+    assert (2, 1) in rpq_pairs(tiny_db, parse_pattern("a-"))
+
+
+def test_rpq_pairs_union(tiny_db):
+    pairs = rpq_pairs(tiny_db, parse_pattern("a+b"))
+    assert (1, 2) in pairs  # both a and b: appears once
+    assert (2, 4) in pairs  # b only
+
+
+def test_rpq_pairs_star_handles_cycles(tiny_db):
+    # c is the 4 <-> 5 cycle; closure terminates and includes both hops.
+    pairs = rpq_pairs(tiny_db, parse_pattern("c*"))
+    assert (4, 4) in pairs
+    assert (4, 5) in pairs
+    assert (5, 4) in pairs
+    assert (1, 1) in pairs  # eps component
+
+
+def test_rpq_pairs_skip_is_reachability(tiny_db):
+    assert rpq_pairs(tiny_db, parse_pattern("<<a.b>>")) == rpq_pairs(
+        tiny_db, parse_pattern("a.b")
+    )
+
+
+def test_rpq_pairs_nested_diagonal(tiny_db):
+    pairs = rpq_pairs(tiny_db, parse_pattern("[a]"))
+    assert pairs == {(1, 1), (2, 2)}
+
+
+def test_match_conjunctive_single_atom(tiny_db):
+    matches = match_conjunctive(tiny_db, [Atom("x", "b", "y")])
+    assert {(m["x"], m["y"]) for m in matches} == {(1, 2), (2, 4), (3, 4)}
+
+
+def test_match_conjunctive_join(tiny_db):
+    atoms = [Atom("x", "a", "y"), Atom("y", "b", "z")]
+    matches = match_conjunctive(tiny_db, atoms)
+    assert {(m["x"], m["y"], m["z"]) for m in matches} == {
+        (1, 2, 4),
+        (1, 3, 4),
+        (2, 2, 4),
+    }
+
+
+def test_match_conjunctive_shared_variable_self(tiny_db):
+    # (x, a, x) matches only the self loop at 2.
+    matches = match_conjunctive(tiny_db, [Atom("x", "a", "x")])
+    assert [m["x"] for m in matches] == [2]
+
+
+def test_match_conjunctive_with_initial_binding(tiny_db):
+    matches = match_conjunctive(
+        tiny_db, [Atom("x", "a", "y")], initial={"x": 1}
+    )
+    assert {m["y"] for m in matches} == {2, 3}
+
+
+def test_match_conjunctive_initial_binding_preserved(tiny_db):
+    matches = match_conjunctive(
+        tiny_db, [Atom("x", "a", "y")], initial={"q": 99, "x": 1}
+    )
+    assert all(m["q"] == 99 for m in matches)
+
+
+def test_match_conjunctive_empty_atoms(tiny_db):
+    assert match_conjunctive(tiny_db, []) == [{}]
+
+
+def test_match_conjunctive_no_matches(tiny_db):
+    atoms = [Atom("x", "b", "y"), Atom("y", "a", "x")]
+    # b then a back: 1-b->2, 2-a->1? no such edge... check emptiness or not
+    matches = match_conjunctive(tiny_db, atoms)
+    assert {(m["x"], m["y"]) for m in matches} == set()
+
+
+def test_match_conjunctive_disconnected_premise(tiny_db):
+    atoms = [Atom("x", "c", "y"), Atom("u", "b", "v")]
+    matches = match_conjunctive(tiny_db, atoms)
+    # cartesian product of 2 c-edges and 3 b-edges
+    assert len(matches) == 6
+
+
+def test_satisfies_full_tgd(tiny_db):
+    # every a-edge from 1 has a parallel ... build a constraint that holds:
+    # (x, c, y) -> (y, c, x) holds because c forms a 2-cycle.
+    assert satisfies(tiny_db, parse_tgd("(x, c, y) -> (y, c, x)"))
+
+
+def test_violates_full_tgd(tiny_db):
+    assert not satisfies(tiny_db, parse_tgd("(x, a, y) -> (y, a, x)"))
+
+
+def test_satisfies_existential_tgd(tiny_db):
+    # every a-edge source has some outgoing b? 1 has b to 2: yes; 2 has b to 4.
+    assert satisfies(tiny_db, parse_tgd("(x, a, y) -> (x, b, z)"))
+
+
+def test_violates_existential_tgd(tiny_db):
+    # every b-target has an outgoing a: 4 has none.
+    assert not satisfies(tiny_db, parse_tgd("(x, b, y) -> (y, a, z)"))
+
+
+def test_satisfies_egd(tiny_db):
+    # every node has at most one outgoing c edge -> egd holds.
+    assert satisfies(tiny_db, parse_tgd("(x, c, y) & (x, c, z) -> y = z"))
+
+
+def test_violates_egd(tiny_db):
+    # node 1 has two outgoing a edges.
+    assert not satisfies(tiny_db, parse_tgd("(x, a, y) & (x, a, z) -> y = z"))
+
+
+def test_satisfies_vacuously_on_empty_relation(tiny_db):
+    schema = Schema(["a", "b", "c"])
+    empty = GraphDatabase(schema)
+    assert satisfies(empty, parse_tgd("(x, a, y) -> (y, a, x)"))
+
+
+def test_violating_matches(tiny_db):
+    tgd = parse_tgd("(x, a, y) -> (y, a, x)")
+    violations = violating_matches(tiny_db, tgd)
+    assert {(m["x"], m["y"]) for m in violations} == {(1, 2), (1, 3)}
+
+
+def test_violating_matches_limit(tiny_db):
+    tgd = parse_tgd("(x, a, y) -> (y, a, x)")
+    assert len(violating_matches(tiny_db, tgd, limit=1)) == 1
+
+
+def test_satisfies_rejects_unknown_constraint_type(tiny_db):
+    from repro.exceptions import ConstraintError
+
+    with pytest.raises(ConstraintError):
+        satisfies(tiny_db, "not a constraint")
+
+
+def test_dblp_generator_satisfies_schema_constraint(dblp_small):
+    db = dblp_small.database
+    for constraint in db.schema.constraints:
+        assert satisfies(db, constraint)
+
+
+def test_wsu_generator_satisfies_schema_constraint(wsu_bundle):
+    db = wsu_bundle.database
+    for constraint in db.schema.constraints:
+        assert satisfies(db, constraint)
+
+
+def test_biomed_generator_satisfies_schema_constraints(biomed_bundle):
+    db = biomed_bundle.database
+    for constraint in db.schema.constraints:
+        assert satisfies(db, constraint)

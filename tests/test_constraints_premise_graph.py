@@ -1,0 +1,132 @@
+"""Unit tests for premise graphs (Section 5)."""
+
+import pytest
+
+from repro.constraints import PremiseGraph, normalize_atoms, parse_tgd
+from repro.constraints.tgd import Atom
+from repro.exceptions import CyclicPremiseError
+from repro.lang import parse_pattern
+from repro.lang.ast import Label, Reverse
+
+
+DBLP_TGD = parse_tgd(
+    "(x1, r-a, x3) & (x1, p-in, x4) & (x2, p-in, x4) -> (x2, r-a, x3)"
+)
+
+
+def test_normalize_atoms_splits_concat():
+    atoms = normalize_atoms([Atom("x", "a.b", "y")])
+    assert len(atoms) == 2
+    (s1, p1, t1), (s2, p2, t2) = atoms
+    assert s1 == "x" and t2 == "y" and t1 == s2
+    assert p1 == Label("a") and p2 == Label("b")
+
+
+def test_normalize_atoms_pushes_reverse_inward():
+    atoms = normalize_atoms([Atom("x", "(a.b)-", "y")])
+    assert len(atoms) == 2
+    # (x, (a.b)-, y) means a path a.b from y to x.
+    (s1, p1, t1), (s2, p2, t2) = atoms
+    assert s1 == "y" and t2 == "x"
+
+
+def test_normalize_atoms_keeps_single_steps():
+    atoms = normalize_atoms([Atom("x", "a-", "y")])
+    assert atoms == [("x", Reverse(Label("a")), "y")]
+
+
+def test_premise_graph_structure():
+    graph = PremiseGraph(DBLP_TGD)
+    assert graph.variables == {"x1", "x2", "x3", "x4"}
+    assert len(graph.edges) == 3
+    assert graph.degree("x1") == 2
+    assert graph.degree("x4") == 2
+    assert graph.degree("x3") == 1
+
+
+def test_acyclic_detection():
+    assert PremiseGraph(DBLP_TGD).is_acyclic()
+    cyclic = parse_tgd("(x, a, y) & (y, b, z) & (z, c, x) -> (x, a, z)")
+    assert not PremiseGraph(cyclic).is_acyclic()
+
+
+def test_self_loop_is_cyclic():
+    loop = parse_tgd("(x, a, x) -> (x, b, x)")
+    assert not PremiseGraph(loop).is_acyclic()
+
+
+def test_parallel_edges_are_cyclic():
+    parallel = parse_tgd("(x, a, y) & (x, b, y) -> (x, c, y)")
+    assert not PremiseGraph(parallel).is_acyclic()
+
+
+def test_require_acyclic_raises():
+    cyclic = parse_tgd("(x, a, y) & (y, b, x) -> (x, c, y)")
+    with pytest.raises(CyclicPremiseError):
+        PremiseGraph(cyclic).require_acyclic()
+
+
+def test_find_path_unique_in_tree():
+    graph = PremiseGraph(DBLP_TGD)
+    steps = graph.find_path("x3", "x2")
+    assert steps is not None
+    pattern = graph.path_pattern(steps)
+    assert str(pattern) == "r-a-.p-in.p-in-"
+
+
+def test_find_path_same_node():
+    graph = PremiseGraph(DBLP_TGD)
+    assert graph.find_path("x1", "x1") == []
+
+
+def test_find_path_disconnected():
+    tgd = parse_tgd("(x, a, y) & (u, b, v) -> (x, a, v)")
+    graph = PremiseGraph(tgd)
+    assert graph.find_path("x", "u") is None
+
+
+def test_edge_pattern_direction():
+    graph = PremiseGraph(DBLP_TGD)
+    edge_id = next(
+        i for i, (s, p, t) in enumerate(graph.edges) if str(p) == "r-a"
+    )
+    assert str(graph.edge_pattern(edge_id, True)) == "r-a"
+    assert str(graph.edge_pattern(edge_id, False)) == "r-a-"
+
+
+def test_match_simple_pattern_forward():
+    graph = PremiseGraph(DBLP_TGD)
+    matches = graph.match_simple_pattern([("r-a", False)])
+    assert ("x1", "x3") in matches
+
+
+def test_match_simple_pattern_reverse_step():
+    graph = PremiseGraph(DBLP_TGD)
+    matches = graph.match_simple_pattern([("r-a", True)])
+    assert ("x3", "x1") in matches
+
+
+def test_match_simple_pattern_multi_step():
+    graph = PremiseGraph(DBLP_TGD)
+    matches = graph.match_simple_pattern(
+        [("r-a", True), ("p-in", False), ("p-in", True)]
+    )
+    assert ("x3", "x2") in matches
+
+
+def test_match_simple_pattern_does_not_reuse_edges():
+    graph = PremiseGraph(DBLP_TGD)
+    # p-in then p-in- through the same edge is not a valid match; through
+    # the two different p-in edges it is.
+    matches = graph.match_simple_pattern([("p-in", False), ("p-in", True)])
+    assert ("x1", "x2") in matches
+    assert ("x1", "x1") not in matches
+
+
+def test_walk_matches_returns_paths():
+    graph = PremiseGraph(DBLP_TGD)
+    results = graph.walk_matches("x1", [("p-in", False)])
+    assert len(results) == 1
+    end, path = results[0]
+    assert end == "x4"
+    assert len(path) == 1

@@ -1,0 +1,112 @@
+"""Unit tests for tgd/egd representation and parsing."""
+
+import pytest
+
+from repro.constraints import Atom, Egd, Tgd, parse_tgd
+from repro.exceptions import ConstraintError
+from repro.lang import parse_pattern
+
+
+def test_atom_accepts_string_pattern():
+    atom = Atom("x", "a.b", "y")
+    assert atom.pattern == parse_pattern("a.b")
+
+
+def test_atom_variables_and_labels():
+    atom = Atom("x", "a.b-", "y")
+    assert atom.variables() == {"x", "y"}
+    assert atom.labels() == {"a", "b"}
+
+
+def test_atom_rename_partial():
+    atom = Atom("x", "a", "y")
+    renamed = atom.rename({"x": "n1"})
+    assert renamed.source == "n1"
+    assert renamed.target == "y"
+
+
+def test_atom_equality_and_str():
+    assert Atom("x", "a", "y") == Atom("x", "a", "y")
+    assert str(Atom("x", "a", "y")) == "(x, a, y)"
+
+
+def test_parse_tgd_roundtrip():
+    text = "(x1, r-a, x3) & (x1, p-in, x4) & (x2, p-in, x4) -> (x2, r-a, x3)"
+    tgd = parse_tgd(text)
+    assert isinstance(tgd, Tgd)
+    assert len(tgd.premise) == 3
+    assert parse_tgd(str(tgd)) == tgd
+
+
+def test_parse_tgd_with_complex_rpq():
+    tgd = parse_tgd("(x, a.b-, y) -> (x, c, y)")
+    assert tgd.premise[0].pattern == parse_pattern("a.b-")
+
+
+def test_parse_egd():
+    egd = parse_tgd("(x, a, y) & (x, a, z) -> y = z")
+    assert isinstance(egd, Egd)
+    assert egd.left == "y"
+    assert egd.right == "z"
+    assert parse_tgd(str(egd)) == egd
+
+
+def test_egd_equality_variables_must_be_in_premise():
+    with pytest.raises(ConstraintError):
+        parse_tgd("(x, a, y) -> x = w")
+
+
+def test_parse_requires_arrow():
+    with pytest.raises(ConstraintError):
+        parse_tgd("(x, a, y)")
+
+
+def test_parse_bad_atom():
+    with pytest.raises(ConstraintError):
+        parse_tgd("(x, a) -> (x, b, y)")
+
+
+def test_existential_variables():
+    tgd = parse_tgd("(x, a, y) -> (x, b, z)")
+    assert tgd.existential_variables() == {"z"}
+    assert not tgd.is_full()
+
+
+def test_full_tgd():
+    tgd = parse_tgd("(x, a, y) -> (x, b, y)")
+    assert tgd.is_full()
+
+
+def test_label_sets():
+    tgd = parse_tgd("(x, a, y) & (y, b, z) -> (x, c, z)")
+    assert tgd.labels() == {"a", "b", "c"}
+    assert tgd.premise_labels() == {"a", "b"}
+    assert tgd.conclusion_labels() == {"c"}
+
+
+def test_trivial_identity():
+    assert parse_tgd("(x, a, y) -> (x, a, y)").is_trivial()
+
+
+def test_trivial_conclusion_subset_of_premise():
+    assert parse_tgd("(x, a, y) & (y, b, z) -> (y, b, z)").is_trivial()
+
+
+def test_nontrivial():
+    assert not parse_tgd("(x, a, y) -> (y, a, x)").is_trivial()
+
+
+def test_empty_premise_rejected():
+    with pytest.raises(ConstraintError):
+        Tgd([], [Atom("x", "a", "y")])
+
+
+def test_empty_conclusion_rejected():
+    with pytest.raises(ConstraintError):
+        Tgd([Atom("x", "a", "y")], [])
+
+
+def test_tgd_hashable():
+    a = parse_tgd("(x, a, y) -> (x, b, y)")
+    b = parse_tgd("(x, a, y) -> (x, b, y)")
+    assert len({a, b}) == 1

@@ -1,0 +1,142 @@
+"""Tests for the RelSim algorithm (the core contribution)."""
+
+import pytest
+
+from repro.core import RelSim
+from repro.datasets.schemas import BIOMED_SCHEMA, DBLP_SCHEMA
+from repro.exceptions import EvaluationError
+from repro.lang import CommutingMatrixEngine, parse_pattern
+from repro.similarity import PathSim
+
+
+def test_single_pattern_matches_pathsim(fig1):
+    """With one simple pattern and PathSim scoring, RelSim == PathSim."""
+    pattern = "r-a-.p-in.p-in-.r-a"
+    relsim = RelSim(fig1, pattern)
+    pathsim = PathSim(fig1, pattern)
+    assert relsim.scores("DataMining") == pathsim.scores("DataMining")
+
+
+def test_rre_pattern_supported(fig1):
+    relsim = RelSim(fig1, "<<r-a-.p-in>>.<<p-in-.r-a>>")
+    ranking = relsim.rank("DataMining")
+    assert ranking.top()[0] == "Databases"
+
+
+def test_example5_resolution(fig1):
+    """The paper's Examples 5/6: the skip-collapsed pattern measures area
+    similarity by *shared conferences only* — Data Mining shares exactly
+    one conference with each of Databases (VLDB) and Software Engineering
+    (SIGKDD), so they come out equally similar, unlike the paper-counting
+    pattern which prefers Databases."""
+    collapsed = RelSim(fig1, "<<r-a-.p-in>>.<<p-in-.r-a>>").scores(
+        "DataMining"
+    )
+    assert collapsed["Databases"] == pytest.approx(
+        collapsed["SoftwareEngineering"]
+    )
+    counting = RelSim(fig1, "r-a-.p-in.p-in-.r-a").scores("DataMining")
+    assert counting["Databases"] > counting["SoftwareEngineering"]
+
+
+def test_multiple_patterns_aggregate_by_sum(fig1):
+    p1 = "r-a-.p-in.p-in-.r-a"
+    p2 = "<<r-a-.p-in>>.<<p-in-.r-a>>"
+    combined = RelSim(fig1, [p1, p2]).scores("DataMining")
+    single1 = RelSim(fig1, p1).scores("DataMining")
+    single2 = RelSim(fig1, p2).scores("DataMining")
+    for node in combined:
+        assert combined[node] == pytest.approx(single1[node] + single2[node])
+
+
+def test_duplicate_patterns_deduplicated(fig1):
+    pattern = "r-a-.r-a"
+    relsim = RelSim(fig1, [pattern, pattern])
+    assert len(relsim.patterns) == 1
+
+
+def test_empty_pattern_list_rejected(fig1):
+    with pytest.raises(EvaluationError):
+        RelSim(fig1, [])
+
+
+def test_unknown_scoring_rejected(fig1):
+    with pytest.raises(EvaluationError):
+        RelSim(fig1, "r-a", scoring="bm25")
+
+
+def test_count_scoring(fig1):
+    relsim = RelSim(fig1, "r-a-.r-a", scoring="count")
+    scores = relsim.scores("DataMining")
+    # DataMining shares 2 papers with Databases, 1 with SE.
+    assert scores["Databases"] == 2.0
+    assert scores["SoftwareEngineering"] == 1.0
+
+
+def test_cosine_scoring_bounded(fig1):
+    relsim = RelSim(fig1, "r-a-.r-a", scoring="cosine")
+    scores = relsim.scores("DataMining")
+    assert all(0.0 <= s <= 1.0 + 1e-9 for s in scores.values())
+
+
+def test_cosine_scoring_zero_row(fig1):
+    fig1.add_node("EmptyArea", "area")
+    relsim = RelSim(fig1, "r-a-.r-a", scoring="cosine")
+    scores = relsim.scores("EmptyArea")
+    assert all(s == 0.0 for s in scores.values())
+
+
+def test_answer_type_override(biomed_bundle):
+    db = biomed_bundle.database
+    relsim = RelSim(
+        db,
+        "dd-ph-indirect.ph-pr-assoc.targets-",
+        scoring="cosine",
+        answer_type="drug",
+    )
+    query = next(iter(biomed_bundle.ground_truth))
+    ranking = relsim.rank(query, top_k=5)
+    assert all(db.node_type(n) == "drug" for n in ranking.top())
+
+
+def test_effectiveness_on_planted_ground_truth(biomed_bundle):
+    """RelSim must rank the planted relevant drug highly (Table 3)."""
+    from repro.eval import mean_reciprocal_rank
+
+    db = biomed_bundle.database
+    relsim = RelSim(
+        db,
+        "dd-ph-indirect.ph-pr-assoc.targets-",
+        scoring="cosine",
+        answer_type="drug",
+    )
+    rankings = {
+        q: relsim.rank(q).top() for q in biomed_bundle.ground_truth
+    }
+    mrr = mean_reciprocal_rank(rankings, biomed_bundle.ground_truth)
+    assert mrr > 0.3
+
+
+def test_from_simple_pattern_uses_schema_constraints(fig1):
+    relsim = RelSim.from_simple_pattern(fig1, "r-a-.p-in.p-in-.r-a")
+    assert len(relsim.patterns) > 1
+    assert str(relsim.patterns[0]) == "r-a-.p-in.p-in-.r-a"
+
+
+def test_from_simple_pattern_explicit_constraints(fig1):
+    relsim = RelSim.from_simple_pattern(
+        fig1, "r-a-.p-in.p-in-.r-a", constraints=[]
+    )
+    assert len(relsim.patterns) == 1
+
+
+def test_shared_engine(fig1):
+    engine = CommutingMatrixEngine(fig1)
+    relsim = RelSim(fig1, "r-a-.r-a", engine=engine)
+    relsim.rank("DataMining")
+    assert engine.cache_size() > 0
+
+
+def test_rejects_non_pattern(fig1):
+    with pytest.raises(TypeError):
+        RelSim(fig1, [3.14])

@@ -1,0 +1,205 @@
+"""Tests for the synthetic dataset generators and workload samplers."""
+
+import pytest
+
+from repro.datasets import (
+    figure1_dblp,
+    generate_biomed,
+    generate_biomed_small,
+    generate_dblp,
+    generate_mas,
+    generate_wsu,
+    sample_queries_by_degree,
+    uniform_queries,
+)
+from repro.datasets.synthetic import SeededGenerator
+
+
+# ----------------------------------------------------------------------
+# Determinism and sizing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "factory",
+    [generate_dblp, generate_wsu, generate_biomed_small, generate_mas],
+)
+def test_generators_deterministic(factory):
+    first = factory(seed=5).database
+    second = factory(seed=5).database
+    assert first.same_content(second)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [generate_dblp, generate_wsu, generate_biomed_small, generate_mas],
+)
+def test_generators_seed_sensitive(factory):
+    assert not factory(seed=1).database.same_content(factory(seed=2).database)
+
+
+def test_dblp_sizes_scale():
+    small = generate_dblp(num_papers=50, num_authors=20)
+    large = generate_dblp(num_papers=500, num_authors=200)
+    assert large.database.num_nodes() > small.database.num_nodes()
+    assert large.database.num_edges() > small.database.num_edges()
+
+
+# ----------------------------------------------------------------------
+# Schema conformance
+# ----------------------------------------------------------------------
+def test_dblp_every_paper_has_one_proc(dblp_small):
+    db = dblp_small.database
+    for paper in db.nodes_of_type("paper"):
+        assert len(db.successors(paper, "p-in")) == 1
+
+
+def test_dblp_paper_areas_match_proc_areas(dblp_small):
+    """The generator enforces the DBLP constraint by construction."""
+    db = dblp_small.database
+    proc_areas = {}
+    for paper in db.nodes_of_type("paper"):
+        proc = next(iter(db.successors(paper, "p-in")))
+        areas = db.successors(paper, "r-a")
+        if proc in proc_areas:
+            assert proc_areas[proc] == areas
+        else:
+            proc_areas[proc] = areas
+
+
+def test_wsu_offerings_inherit_course_subjects(wsu_bundle):
+    db = wsu_bundle.database
+    course_subjects = {}
+    for offer in db.nodes_of_type("offer"):
+        course = next(iter(db.successors(offer, "co")))
+        subjects = db.successors(offer, "os")
+        if course in course_subjects:
+            assert course_subjects[course] == subjects
+        else:
+            course_subjects[course] = subjects
+
+
+def test_biomed_indirect_edges_are_exact_closure(biomed_bundle):
+    db = biomed_bundle.database
+    derived = set()
+    for parent, _, child in db.edges("is-parent-of"):
+        for anatomy in db.successors(parent, "ph-a-assoc"):
+            derived.add((child, "ph-a-indirect", anatomy))
+        for disease in db.predecessors(parent, "dd-ph-assoc"):
+            derived.add((disease, "dd-ph-indirect", child))
+    actual = set(db.edges("ph-a-indirect")) | set(db.edges("dd-ph-indirect"))
+    assert actual == derived
+
+
+def test_biomed_ground_truth_queries_are_diseases(biomed_bundle):
+    db = biomed_bundle.database
+    for query, drug in biomed_bundle.ground_truth.items():
+        assert db.node_type(query) == "disont-disease"
+        assert db.node_type(drug) == "drug"
+
+
+def test_biomed_ground_truth_reachable_via_meta_path(biomed_bundle):
+    """The planted drug is reachable along the evaluation pattern."""
+    from repro.constraints import rpq_pairs
+    from repro.lang import parse_pattern
+
+    db = biomed_bundle.database
+    pairs = rpq_pairs(
+        db, parse_pattern("dd-ph-indirect.ph-pr-assoc.targets-")
+    )
+    for query, drug in biomed_bundle.ground_truth.items():
+        assert (query, drug) in pairs
+
+
+def test_biomed_query_count():
+    bundle = generate_biomed_small(num_queries=10)
+    assert len(bundle.ground_truth) == 10
+
+
+def test_mas_papers_have_conf_and_area(mas_bundle):
+    db = mas_bundle.database
+    for paper in db.nodes_of_type("paper"):
+        assert len(db.successors(paper, "pub-in")) == 1
+        assert len(db.successors(paper, "p-area")) == 1
+
+
+def test_figure1_matches_paper_fragment():
+    db = figure1_dblp()
+    assert db.has_edge("SimilarityMining", "p-in", "VLDB")
+    assert db.has_edge("SimilarityMining", "r-a", "DataMining")
+    assert db.num_nodes() == 8
+
+
+def test_bundle_info_recorded(dblp_small):
+    assert dblp_small.info["name"] == "DBLP"
+    assert "seed" in dblp_small.info
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def test_degree_sampling_deterministic(dblp_small):
+    db = dblp_small.database
+    first = sample_queries_by_degree(db, "proc", 10, seed=3)
+    second = sample_queries_by_degree(db, "proc", 10, seed=3)
+    assert first == second
+
+
+def test_degree_sampling_distinct(dblp_small):
+    queries = sample_queries_by_degree(dblp_small.database, "proc", 10, seed=3)
+    assert len(queries) == len(set(queries)) == 10
+
+
+def test_degree_sampling_prefers_high_degree(dblp_small):
+    db = dblp_small.database
+    procs = db.nodes_of_type("proc")
+    degrees = {p: db.degree(p) for p in procs}
+    # Sample many times; the overall mean degree of sampled nodes should
+    # exceed the population mean.
+    sampled = []
+    for seed in range(10):
+        sampled.extend(sample_queries_by_degree(db, "proc", 5, seed=seed))
+    population_mean = sum(degrees.values()) / len(degrees)
+    sample_mean = sum(degrees[p] for p in sampled) / len(sampled)
+    assert sample_mean > population_mean
+
+
+def test_degree_sampling_returns_all_when_short(dblp_small):
+    db = dblp_small.database
+    everything = sample_queries_by_degree(db, "proc", 10_000, seed=0)
+    assert set(everything) == {
+        p for p in db.nodes_of_type("proc") if db.degree(p) > 0
+    }
+
+
+def test_uniform_queries(dblp_small):
+    db = dblp_small.database
+    queries = uniform_queries(db, "paper", 15, seed=0)
+    assert len(queries) == 15
+    assert all(db.node_type(q) == "paper" for q in queries)
+
+
+# ----------------------------------------------------------------------
+# SeededGenerator helpers
+# ----------------------------------------------------------------------
+def test_make_ids():
+    gen = SeededGenerator(0)
+    assert gen.make_ids("x", 3) == ["x:0", "x:1", "x:2"]
+
+
+def test_zipf_sample_distinct():
+    gen = SeededGenerator(0)
+    items = list(range(50))
+    sample = gen.zipf_sample(items, 10)
+    assert len(sample) == len(set(sample)) == 10
+
+
+def test_zipf_sample_caps_at_population():
+    gen = SeededGenerator(0)
+    assert len(gen.zipf_sample([1, 2, 3], 10)) == 3
+
+
+def test_zipf_choice_prefers_head():
+    gen = SeededGenerator(0)
+    items = list(range(20))
+    picks = [gen.zipf_choice(items, exponent=1.5) for _ in range(300)]
+    head = sum(1 for p in picks if p < 5)
+    assert head > 150

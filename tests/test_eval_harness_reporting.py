@@ -1,0 +1,163 @@
+"""Tests for experiment harnesses and table rendering."""
+
+import pytest
+
+from repro.core import RelSim
+from repro.datasets import figure1_dblp
+from repro.eval import (
+    EffectivenessExperiment,
+    RobustnessExperiment,
+    effectiveness_table,
+    format_table,
+    robustness_table,
+    time_queries,
+    timing_table,
+)
+from repro.similarity import RWR, PathSim
+from repro.transform import dblp2sigm, map_pattern
+from repro.lang import parse_pattern
+
+
+@pytest.fixture
+def fig1_pair():
+    db = figure1_dblp()
+    mapping = dblp2sigm()
+    return db, mapping.apply(db), mapping
+
+
+def test_robustness_experiment_relsim_zero(fig1_pair):
+    db, variant, mapping = fig1_pair
+    p_src = parse_pattern("r-a-.p-in.p-in-.r-a")
+    p_tgt = map_pattern(mapping, p_src)
+    experiment = RobustnessExperiment(
+        db,
+        variant,
+        {
+            "RelSim": (
+                lambda d: RelSim(d, p_src),
+                lambda d: RelSim(d, p_tgt),
+            ),
+            "RWR": (lambda d: RWR(d), lambda d: RWR(d)),
+        },
+        queries=["DataMining", "Databases"],
+        transformation_name="DBLP2SIGM",
+    )
+    result = experiment.run()
+    assert result.tau("RelSim", 5) == 0.0
+    assert result.tau("RelSim", 10) == 0.0
+    assert result.taus["RWR"][5] >= 0.0
+
+
+def test_robustness_experiment_drops_missing_queries(fig1_pair):
+    db, variant, _ = fig1_pair
+    experiment = RobustnessExperiment(
+        db,
+        variant,
+        {},
+        queries=["DataMining", "not-a-node"],
+    )
+    assert experiment.queries == ["DataMining"]
+
+
+def test_effectiveness_experiment(fig1_pair):
+    db, variant, mapping = fig1_pair
+    truth = {"DataMining": "Databases"}
+    experiment = EffectivenessExperiment(
+        variants={"original": db},
+        algorithms={
+            "PathSim": {
+                "original": lambda d: PathSim(d, "r-a-.p-in.p-in-.r-a")
+            }
+        },
+        ground_truth=truth,
+    )
+    result = experiment.run()
+    assert result.mrr("original", "PathSim") == 1.0
+
+
+def test_effectiveness_skips_unconfigured_variant(fig1_pair):
+    db, variant, _ = fig1_pair
+    experiment = EffectivenessExperiment(
+        variants={"original": db, "transformed": variant},
+        algorithms={
+            "PathSim": {
+                "original": lambda d: PathSim(d, "r-a-.p-in.p-in-.r-a")
+            }
+        },
+        ground_truth={"DataMining": "Databases"},
+    )
+    result = experiment.run()
+    assert "PathSim" not in result.mrrs["transformed"]
+
+
+def test_time_queries_positive(fig1_pair):
+    db, _, _ = fig1_pair
+    algorithm = PathSim(db, "r-a-.r-a")
+    seconds = time_queries(algorithm, ["DataMining"], repeat=2)
+    assert seconds > 0.0
+
+
+def test_time_queries_empty_workload(fig1_pair):
+    db, _, _ = fig1_pair
+    assert time_queries(PathSim(db, "r-a-.r-a"), []) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["x", 1.23456], ["longer", 7]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.235" in text
+    assert "longer" in text
+
+
+def test_format_table_with_title():
+    text = format_table(["a"], [[1.0]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+    assert text.splitlines()[1] == "========"
+
+
+def test_robustness_table_layout(fig1_pair):
+    db, variant, mapping = fig1_pair
+    experiment = RobustnessExperiment(
+        db,
+        variant,
+        {"RWR": (lambda d: RWR(d), lambda d: RWR(d))},
+        queries=["DataMining"],
+        transformation_name="T",
+    )
+    text = robustness_table([experiment.run()])
+    assert "T top5" in text
+    assert "RWR" in text
+
+
+def test_robustness_table_missing_algorithm(fig1_pair):
+    db, variant, _ = fig1_pair
+    result = RobustnessExperiment(
+        db, variant, {}, queries=["DataMining"], transformation_name="T"
+    ).run()
+    text = robustness_table([result], algorithms=["Ghost"])
+    assert "-" in text
+
+
+def test_effectiveness_table_layout():
+    from repro.eval import EffectivenessResult
+
+    result = EffectivenessResult(
+        {"original": {"RelSim": 0.5}, "transformed": {"RelSim": 0.5}}
+    )
+    text = effectiveness_table(result, title="Table 3")
+    assert "RelSim" in text
+    assert "original" in text
+    assert "0.500" in text
+
+
+def test_timing_table_layout():
+    text = timing_table(
+        {"RelSim": {"DBLP": 0.035, "BioMed": 0.473}},
+        title="Table 4",
+    )
+    assert "0.0350" in text
+    assert "BioMed" in text

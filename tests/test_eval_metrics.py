@@ -1,0 +1,128 @@
+"""Tests for ranking metrics (Kendall tau, MRR)."""
+
+import pytest
+
+from repro.eval import (
+    average_top_k_tau,
+    kendall_tau_distance,
+    mean_reciprocal_rank,
+    normalized_kendall_tau,
+    reciprocal_rank,
+)
+
+
+# ----------------------------------------------------------------------
+# Kendall tau
+# ----------------------------------------------------------------------
+def test_identical_lists_zero():
+    assert normalized_kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 0.0
+
+
+def test_reversed_lists_one():
+    assert normalized_kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == 1.0
+
+
+def test_empty_lists_identical():
+    assert normalized_kendall_tau([], []) == 0.0
+
+
+def test_single_swap():
+    tau = normalized_kendall_tau(["a", "b", "c"], ["b", "a", "c"])
+    assert tau == pytest.approx(1.0 / 3.0)
+
+
+def test_bounded_between_zero_and_one():
+    tau = normalized_kendall_tau(["a", "b"], ["c", "d"])
+    assert 0.0 <= tau <= 1.0
+
+
+def test_disjoint_lists_use_penalty():
+    # {a,b} vs {c,d}: pairs (a,b) ordered only in list1 -> penalty;
+    # (c,d) ordered only in list2 -> penalty; (a,c),(a,d),(b,c),(b,d):
+    # each list ranks its own member above the absent one, and they
+    # disagree -> discordant.
+    tau = normalized_kendall_tau(["a", "b"], ["c", "d"], penalty=0.5)
+    assert tau == pytest.approx((0.5 + 0.5 + 4.0) / 6.0)
+
+
+def test_partial_overlap():
+    tau = normalized_kendall_tau(["a", "b"], ["a", "c"])
+    # pairs: (a,b): list1 a<b, list2 a present b absent -> a first: agree.
+    # (a,c): list2 a<c, list1 a present c absent -> agree.
+    # (b,c): list1 says b first, list2 says c first -> discordant.
+    assert tau == pytest.approx(1.0 / 3.0)
+
+
+def test_penalty_parameter_zero():
+    tau = normalized_kendall_tau(["a"], ["b"], penalty=0.0)
+    assert tau == 1.0  # single cross pair is discordant regardless
+
+
+def test_distance_unnormalized():
+    assert kendall_tau_distance(["a", "b"], ["b", "a"]) == 1.0
+    assert kendall_tau_distance(["a", "b"], ["a", "b"]) == 0.0
+
+
+def test_symmetry():
+    a, b = ["a", "b", "c"], ["b", "d", "a"]
+    assert normalized_kendall_tau(a, b) == pytest.approx(
+        normalized_kendall_tau(b, a)
+    )
+
+
+def test_average_top_k_tau_truncates():
+    rankings_a = {"q": ["a", "b", "c", "d"]}
+    rankings_b = {"q": ["a", "b", "d", "c"]}
+    assert average_top_k_tau(rankings_a, rankings_b, k=2) == 0.0
+    assert average_top_k_tau(rankings_a, rankings_b, k=4) > 0.0
+
+
+def test_average_top_k_tau_multiple_queries():
+    rankings_a = {"q1": ["a", "b"], "q2": ["a", "b"]}
+    rankings_b = {"q1": ["a", "b"], "q2": ["b", "a"]}
+    assert average_top_k_tau(rankings_a, rankings_b, k=2) == pytest.approx(0.5)
+
+
+def test_average_top_k_tau_intersects_queries():
+    rankings_a = {"q1": ["a"], "orphan": ["x"]}
+    rankings_b = {"q1": ["a"]}
+    assert average_top_k_tau(rankings_a, rankings_b, k=1) == 0.0
+
+
+def test_average_top_k_tau_no_common_queries():
+    assert average_top_k_tau({"a": []}, {"b": []}, k=5) == 0.0
+
+
+# ----------------------------------------------------------------------
+# MRR
+# ----------------------------------------------------------------------
+def test_reciprocal_rank_first():
+    assert reciprocal_rank(["x", "y"], "x") == 1.0
+
+
+def test_reciprocal_rank_later():
+    assert reciprocal_rank(["x", "y", "z"], "z") == pytest.approx(1.0 / 3.0)
+
+
+def test_reciprocal_rank_absent():
+    assert reciprocal_rank(["x", "y"], "nope") == 0.0
+
+
+def test_reciprocal_rank_multiple_relevant():
+    assert reciprocal_rank(["x", "y", "z"], {"z", "y"}) == 0.5
+
+
+def test_mean_reciprocal_rank():
+    rankings = {"q1": ["a", "b"], "q2": ["b", "a"]}
+    truth = {"q1": "a", "q2": "a"}
+    assert mean_reciprocal_rank(rankings, truth) == pytest.approx(0.75)
+
+
+def test_mean_reciprocal_rank_missing_query_counts_zero():
+    rankings = {"q1": ["a"]}
+    truth = {"q1": "a", "q2": "a"}
+    assert mean_reciprocal_rank(rankings, truth) == pytest.approx(0.5)
+
+
+def test_mean_reciprocal_rank_empty_truth():
+    assert mean_reciprocal_rank({}, {}) == 0.0

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example contains its own assertions (e.g. RelSim rankings identical
+across variants), so a zero exit code means the demonstrated claims held.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script, marker",
+    [
+        ("quickstart.py", "RelSim is structurally robust"),
+        ("course_catalog.py", "identical lists on both catalog shapes"),
+        ("drug_repurposing.py", "Top-5 drugs"),
+        ("custom_schema_mapping.py", "robust across the custom transformation"),
+    ],
+)
+def test_example_runs_and_reaches_conclusion(script, marker):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout

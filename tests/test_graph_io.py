@@ -1,0 +1,83 @@
+"""Unit tests for repro.graph.io (JSON / TSV round trips)."""
+
+import pytest
+
+from repro.constraints import parse_tgd
+from repro.exceptions import ReproError
+from repro.graph import GraphDatabase, Schema
+from repro.graph.io import (
+    database_from_dict,
+    database_to_dict,
+    load_json,
+    load_tsv,
+    save_json,
+    save_tsv,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+@pytest.fixture
+def db():
+    schema = Schema(
+        ["a", "b"],
+        constraints=[parse_tgd("(x, a, y) -> (x, b, y)")],
+        node_types={"a": ("s", "t")},
+    )
+    database = GraphDatabase(schema)
+    database.add_node("n1", "s")
+    database.add_node("lonely")
+    database.add_edges([("n1", "a", "n2"), ("n2", "b", "n3")])
+    return database
+
+
+def test_schema_dict_roundtrip(db):
+    rebuilt = schema_from_dict(schema_to_dict(db.schema))
+    assert rebuilt == db.schema
+    assert rebuilt.node_types == db.schema.node_types
+
+
+def test_database_dict_roundtrip(db):
+    rebuilt = database_from_dict(database_to_dict(db))
+    assert rebuilt.same_content(db)
+    assert rebuilt.node_type("n1") == "s"
+    assert rebuilt.has_node("lonely")
+
+
+def test_json_roundtrip(db, tmp_path):
+    path = tmp_path / "db.json"
+    save_json(db, path)
+    rebuilt = load_json(path)
+    assert rebuilt.same_content(db)
+    assert rebuilt.schema == db.schema
+
+
+def test_tsv_roundtrip_with_nodes_file(db, tmp_path):
+    edges = tmp_path / "edges.tsv"
+    nodes = tmp_path / "nodes.tsv"
+    save_tsv(db, edges, nodes)
+    rebuilt = load_tsv(db.schema, edges, nodes)
+    assert rebuilt.same_content(db)
+    assert rebuilt.node_type("n1") == "s"
+
+
+def test_tsv_roundtrip_edges_only_drops_isolated_nodes(db, tmp_path):
+    edges = tmp_path / "edges.tsv"
+    save_tsv(db, edges)
+    rebuilt = load_tsv(db.schema, edges)
+    assert rebuilt.edge_set() == db.edge_set()
+    assert not rebuilt.has_node("lonely")
+
+
+def test_tsv_bad_edge_line(tmp_path):
+    path = tmp_path / "edges.tsv"
+    path.write_text("only\ttwo\n")
+    with pytest.raises(ReproError):
+        load_tsv(Schema(["a"]), path)
+
+
+def test_tsv_blank_lines_skipped(tmp_path):
+    path = tmp_path / "edges.tsv"
+    path.write_text("u\ta\tv\n\n")
+    rebuilt = load_tsv(Schema(["a"]), path)
+    assert rebuilt.num_edges() == 1

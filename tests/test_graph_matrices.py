@@ -1,0 +1,117 @@
+"""Unit tests for repro.graph.matrices."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import UnknownNodeError
+from repro.graph import (
+    GraphDatabase,
+    MatrixView,
+    NodeIndexer,
+    Schema,
+    boolean,
+    column_normalize,
+    diagonal_of,
+    row_normalize,
+)
+
+
+def test_indexer_roundtrip():
+    indexer = NodeIndexer(["x", "y", "z"])
+    assert len(indexer) == 3
+    for i, node in enumerate(["x", "y", "z"]):
+        assert indexer.index_of(node) == i
+        assert indexer.node_at(i) == node
+
+
+def test_indexer_rejects_duplicates():
+    with pytest.raises(ValueError):
+        NodeIndexer(["x", "x"])
+
+
+def test_indexer_unknown_node():
+    indexer = NodeIndexer(["x"])
+    with pytest.raises(UnknownNodeError):
+        indexer.index_of("nope")
+
+
+def test_indexer_contains():
+    indexer = NodeIndexer(["x"])
+    assert "x" in indexer
+    assert "y" not in indexer
+
+
+@pytest.fixture
+def view(tiny_db):
+    return MatrixView(tiny_db)
+
+
+def test_adjacency_entries(view, tiny_db):
+    matrix = view.adjacency("a")
+    indexer = view.indexer
+    for source, _, target in tiny_db.edges("a"):
+        assert matrix[indexer.index_of(source), indexer.index_of(target)] == 1
+    assert matrix.sum() == len(list(tiny_db.edges("a")))
+
+
+def test_adjacency_cached(view):
+    assert view.adjacency("a") is view.adjacency("a")
+
+
+def test_identity_and_zeros(view):
+    n = view.num_nodes()
+    assert (view.identity() != sp.identity(n)).nnz == 0
+    assert view.zeros().nnz == 0
+
+
+def test_combined_adjacency_sums_labels(view, tiny_db):
+    combined = view.combined_adjacency()
+    assert combined.sum() == tiny_db.num_edges()
+
+
+def test_combined_adjacency_symmetric(view):
+    combined = view.combined_adjacency(symmetric=True)
+    assert (combined != combined.T).nnz == 0
+
+
+def test_shared_indexer_across_views(tiny_db):
+    view1 = MatrixView(tiny_db)
+    view2 = MatrixView(tiny_db.copy(), indexer=view1.indexer)
+    assert (view1.adjacency("a") != view2.adjacency("a")).nnz == 0
+
+
+def test_shared_indexer_ignores_extra_nodes(tiny_db):
+    indexer = MatrixView(tiny_db).indexer
+    bigger = tiny_db.copy()
+    bigger.add_edge(99, "a", 98)
+    view = MatrixView(bigger, indexer=indexer)
+    # edges among indexed nodes only
+    assert view.adjacency("a").sum() == len(list(tiny_db.edges("a")))
+
+
+def test_boolean_thresholds_counts():
+    matrix = sp.csr_matrix(np.array([[0.0, 2.0], [3.0, 0.0]]))
+    result = boolean(matrix)
+    assert result.toarray().tolist() == [[0.0, 1.0], [1.0, 0.0]]
+
+
+def test_diagonal_of():
+    matrix = sp.csr_matrix(np.array([[1.0, 2.0], [3.0, 4.0]]))
+    assert diagonal_of(matrix).toarray().tolist() == [[1.0, 0.0], [0.0, 4.0]]
+
+
+def test_row_normalize_rows_sum_to_one():
+    matrix = sp.csr_matrix(np.array([[1.0, 3.0], [0.0, 0.0]]))
+    normalized = row_normalize(matrix)
+    rows = np.asarray(normalized.sum(axis=1)).ravel()
+    assert rows[0] == pytest.approx(1.0)
+    assert rows[1] == 0.0  # zero rows stay zero
+
+
+def test_column_normalize_columns_sum_to_one():
+    matrix = sp.csr_matrix(np.array([[1.0, 0.0], [3.0, 0.0]]))
+    normalized = column_normalize(matrix)
+    cols = np.asarray(normalized.sum(axis=0)).ravel()
+    assert cols[0] == pytest.approx(1.0)
+    assert cols[1] == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for repro.graph.schema."""
+
+import pytest
+
+from repro.constraints import parse_tgd
+from repro.exceptions import SchemaError, UnknownLabelError
+from repro.graph import Schema
+
+
+def test_labels_are_frozen_set():
+    schema = Schema(["a", "b"])
+    assert schema.labels == frozenset({"a", "b"})
+
+
+def test_label_membership_uses_in_operator():
+    schema = Schema(["a", "b"])
+    assert "a" in schema
+    assert "z" not in schema
+
+
+def test_constraint_membership_uses_in_operator():
+    tgd = parse_tgd("(x, a, y) -> (x, b, y)")
+    schema = Schema(["a", "b"], [tgd])
+    assert tgd in schema
+    other = parse_tgd("(x, b, y) -> (x, a, y)")
+    assert other not in schema
+
+
+def test_empty_label_rejected():
+    with pytest.raises(SchemaError):
+        Schema(["a", ""])
+
+
+def test_non_string_label_rejected():
+    with pytest.raises(SchemaError):
+        Schema(["a", 3])
+
+
+def test_constraint_with_unknown_label_rejected():
+    tgd = parse_tgd("(x, z, y) -> (x, a, y)")
+    with pytest.raises(SchemaError):
+        Schema(["a"], [tgd])
+
+
+def test_require_label_raises_with_suggestions():
+    schema = Schema(["a"])
+    with pytest.raises(UnknownLabelError) as excinfo:
+        schema.require_label("b")
+    assert "b" in str(excinfo.value)
+    assert excinfo.value.schema_labels == {"a"}
+
+
+def test_node_types_validated_against_labels():
+    with pytest.raises(UnknownLabelError):
+        Schema(["a"], node_types={"b": ("x", "y")})
+
+
+def test_node_types_must_be_pairs():
+    with pytest.raises(SchemaError):
+        Schema(["a"], node_types={"a": ("x", "y", "z")})
+
+
+def test_endpoint_types():
+    schema = Schema(["a"], node_types={"a": ("s", "t")})
+    assert schema.endpoint_types("a") == ("s", "t")
+
+
+def test_endpoint_types_none_when_untyped():
+    schema = Schema(["a"])
+    assert schema.endpoint_types("a") is None
+
+
+def test_nontrivial_constraints_drops_trivial():
+    trivial = parse_tgd("(x, a, y) -> (x, a, y)")
+    real = parse_tgd("(x, a, y) -> (x, b, y)")
+    schema = Schema(["a", "b"], [trivial, real])
+    assert schema.nontrivial_constraints() == (real,)
+
+
+def test_with_constraints_replaces():
+    schema = Schema(["a", "b"])
+    tgd = parse_tgd("(x, a, y) -> (x, b, y)")
+    updated = schema.with_constraints([tgd])
+    assert updated.constraints == (tgd,)
+    assert schema.constraints == ()
+
+
+def test_with_labels_extends():
+    schema = Schema(["a"], node_types={"a": ("s", "t")})
+    extended = schema.with_labels(["b"], {"b": ("u", "v")})
+    assert "b" in extended
+    assert extended.endpoint_types("b") == ("u", "v")
+    assert extended.endpoint_types("a") == ("s", "t")
+
+
+def test_equality_ignores_node_types():
+    assert Schema(["a"]) == Schema(["a"], node_types={"a": ("s", "t")})
+    assert Schema(["a"]) != Schema(["a", "b"])
+
+
+def test_schema_hashable():
+    assert len({Schema(["a"]), Schema(["a"]), Schema(["b"])}) == 2

@@ -1,0 +1,188 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+* Corollary 1: RelSim returns *identical* ranked lists over a database
+  and every invertible structural variation, for all three catalog
+  transformations (DBLP2SIGM, WSUC2ALCH, BioMedT) and the
+  information-adding DBLP2SIGMX.
+* The baselines (PathSim on the "closest simple pattern", RWR, SimRank)
+  are demonstrably NOT robust on the same workloads (Table 1's point).
+* Proposition 4: pattern-constrained RWR/SimRank with the translated RRE
+  are robust too.
+* Proposition 5 (spot check): aggregated RelSim scores from Algorithm-1
+  pattern sets are invariant on the worked BioMed example.
+"""
+
+import pytest
+
+from repro.core import RelSim
+from repro.datasets import sample_queries_by_degree
+from repro.lang import parse_pattern
+from repro.similarity import RWR, PathSim, PatternRWR, SimRank
+from repro.transform import (
+    EXPERIMENT_PATTERNS,
+    biomedt,
+    dblp2sigm,
+    dblp2sigmx,
+    map_pattern,
+    wsuc2alch,
+)
+
+
+def rankings_equal(algorithm_a, algorithm_b, queries, k=10):
+    for query in queries:
+        if (
+            algorithm_a.rank(query, top_k=k).top()
+            != algorithm_b.rank(query, top_k=k).top()
+        ):
+            return False
+    return True
+
+
+def _setup(bundle, mapping_factory, spec_key):
+    mapping = mapping_factory()
+    db = bundle.database
+    variant = mapping.apply(db)
+    spec = EXPERIMENT_PATTERNS[spec_key]
+    p_src = parse_pattern(spec["relsim_source"])
+    p_tgt = map_pattern(mapping, p_src)
+    queries = sample_queries_by_degree(db, spec["query_type"], 15, seed=11)
+    return db, variant, p_src, p_tgt, spec, queries
+
+
+def test_relsim_robust_under_dblp2sigm(dblp_small):
+    db, variant, p_src, p_tgt, spec, queries = _setup(
+        dblp_small, dblp2sigm, "DBLP2SIGM"
+    )
+    assert rankings_equal(
+        RelSim(db, p_src), RelSim(variant, p_tgt), queries
+    )
+
+
+def test_relsim_scores_exactly_equal_under_dblp2sigm(dblp_small):
+    db, variant, p_src, p_tgt, spec, queries = _setup(
+        dblp_small, dblp2sigm, "DBLP2SIGM"
+    )
+    source = RelSim(db, p_src)
+    target = RelSim(variant, p_tgt)
+    for query in queries[:5]:
+        source_scores = source.scores(query)
+        target_scores = target.scores(query)
+        for node, score in source_scores.items():
+            assert target_scores[node] == pytest.approx(score, abs=1e-12)
+
+
+def test_relsim_robust_under_dblp2sigmx(dblp_small):
+    """The information-ADDING transformation (Table 2, first column)."""
+    db, variant, p_src, p_tgt, spec, queries = _setup(
+        dblp_small, dblp2sigmx, "DBLP2SIGM"
+    )
+    assert rankings_equal(
+        RelSim(db, p_src), RelSim(variant, p_tgt), queries
+    )
+
+
+def test_relsim_robust_under_wsuc2alch(wsu_bundle):
+    db, variant, p_src, p_tgt, spec, queries = _setup(
+        wsu_bundle, wsuc2alch, "WSUC2ALCH"
+    )
+    assert rankings_equal(
+        RelSim(db, p_src), RelSim(variant, p_tgt), queries
+    )
+
+
+def test_relsim_robust_under_biomedt(biomed_bundle):
+    db = biomed_bundle.database
+    mapping = biomedt()
+    variant = mapping.apply(db)
+    spec = EXPERIMENT_PATTERNS["BioMedT"]
+    p_src = parse_pattern(spec["relsim_source"])
+    p_tgt = map_pattern(mapping, p_src)
+    queries = list(biomed_bundle.ground_truth)[:10]
+    source = RelSim(db, p_src, scoring="cosine", answer_type="drug")
+    target = RelSim(variant, p_tgt, scoring="cosine", answer_type="drug")
+    assert rankings_equal(source, target, queries)
+
+
+def test_pathsim_not_robust_under_dblp2sigm(dblp_small):
+    db, variant, p_src, p_tgt, spec, queries = _setup(
+        dblp_small, dblp2sigm, "DBLP2SIGM"
+    )
+    source = PathSim(db, spec["pathsim_source"])
+    target = PathSim(variant, spec["pathsim_target"])
+    assert not rankings_equal(source, target, queries)
+
+
+def test_rwr_not_robust_under_dblp2sigm(dblp_small):
+    db, variant, _, _, _, queries = _setup(
+        dblp_small, dblp2sigm, "DBLP2SIGM"
+    )
+    assert not rankings_equal(RWR(db), RWR(variant), queries)
+
+
+def test_simrank_not_robust_under_dblp2sigm(dblp_small):
+    db, variant, _, _, _, queries = _setup(
+        dblp_small, dblp2sigm, "DBLP2SIGM"
+    )
+    assert not rankings_equal(SimRank(db), SimRank(variant), queries)
+
+
+def test_pattern_rwr_robust_under_dblp2sigm(dblp_small):
+    """Proposition 4: pattern-constrained RWR inherits robustness."""
+    db, variant, p_src, p_tgt, _, queries = _setup(
+        dblp_small, dblp2sigm, "DBLP2SIGM"
+    )
+    assert rankings_equal(
+        PatternRWR(db, p_src), PatternRWR(variant, p_tgt), queries[:8]
+    )
+
+
+def test_aggregated_relsim_robust_on_biomed(biomed_bundle):
+    """Proposition 5 on the BioMed defining-constraint case: Algorithm 1
+    maps the source pattern set one-to-one onto the target set with
+    equal counts, so the aggregated ranking is invariant."""
+    db = biomed_bundle.database
+    mapping = biomedt()
+    variant = mapping.apply(db)
+    source = RelSim.from_simple_pattern(
+        db,
+        "dd-ph-indirect.ph-pr-assoc.targets-",
+        scoring="cosine",
+        answer_type="drug",
+    )
+    # Over the transformed schema the user writes the natural simple
+    # pattern; its Algorithm-1 set must aggregate to the same scores.
+    target_patterns = [
+        map_pattern(mapping, p) for p in source.patterns
+    ]
+    target = RelSim(
+        variant, target_patterns, scoring="cosine", answer_type="drug"
+    )
+    queries = list(biomed_bundle.ground_truth)[:8]
+    assert rankings_equal(source, target, queries)
+
+
+def test_relsim_tau_zero_in_robustness_experiment(dblp_small):
+    from repro.eval import RobustnessExperiment
+
+    db, variant, p_src, p_tgt, spec, queries = _setup(
+        dblp_small, dblp2sigm, "DBLP2SIGM"
+    )
+    result = RobustnessExperiment(
+        db,
+        variant,
+        {
+            "RelSim": (
+                lambda d: RelSim(d, p_src),
+                lambda d: RelSim(d, p_tgt),
+            ),
+            "PathSim": (
+                lambda d: PathSim(d, spec["pathsim_source"]),
+                lambda d: PathSim(d, spec["pathsim_target"]),
+            ),
+        },
+        queries=queries,
+        transformation_name="DBLP2SIGM",
+    ).run()
+    assert result.tau("RelSim", 5) == 0.0
+    assert result.tau("RelSim", 10) == 0.0
+    assert result.tau("PathSim", 5) > 0.0

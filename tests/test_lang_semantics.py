@@ -1,0 +1,135 @@
+"""Unit tests for the enumeration semantics (the paper's I_D(p))."""
+
+import pytest
+
+from repro.exceptions import StarDivergenceError
+from repro.graph import GraphDatabase, Schema
+from repro.lang import parse_pattern
+from repro.lang.semantics import (
+    enumerate_instances,
+    join_sequences,
+    reverse_sequence,
+    reverse_step,
+)
+
+
+def count(db, text, u, v):
+    return enumerate_instances(db, parse_pattern(text)).count(u, v)
+
+
+def test_epsilon_instances(tiny_db):
+    instances = enumerate_instances(tiny_db, parse_pattern("eps"))
+    assert instances.total() == tiny_db.num_nodes()
+    assert instances.count(1, 1) == 1
+    assert instances.count(1, 2) == 0
+
+
+def test_label_instances(tiny_db):
+    instances = enumerate_instances(tiny_db, parse_pattern("a"))
+    assert instances.count(1, 2) == 1
+    assert instances.count(1, 3) == 1
+    assert instances.count(2, 4) == 0
+
+
+def test_label_sequence_records_traversal(tiny_db):
+    instances = enumerate_instances(tiny_db, parse_pattern("a"))
+    assert instances.sequences(1, 2) == {(("n", 1), ("s", "a"), ("n", 2))}
+
+
+def test_reverse_instances(tiny_db):
+    instances = enumerate_instances(tiny_db, parse_pattern("a-"))
+    assert instances.count(2, 1) == 1
+    assert instances.count(1, 2) == 0
+
+
+def test_concat_counts_paths(tiny_db):
+    # 1 -a-> {2,3} -b-> 4: two a.b paths from 1 to 4.
+    assert count(tiny_db, "a.b", 1, 4) == 2
+
+
+def test_union_counts(tiny_db):
+    # 1 -a-> 2 and 1 -b-> 2.
+    assert count(tiny_db, "a+b", 1, 2) == 2
+
+
+def test_union_of_identical_patterns_is_single(tiny_db):
+    assert count(tiny_db, "a+a", 1, 2) == 1
+
+
+def test_skip_collapses_multiplicity(tiny_db):
+    assert count(tiny_db, "<<a.b>>", 1, 4) == 1
+    # Node 3 has no outgoing a-edge, so no a.b path starts there.
+    assert count(tiny_db, "<<a.b>>", 3, 4) == 0
+
+
+def test_skip_records_flattened_pattern(tiny_db):
+    instances = enumerate_instances(tiny_db, parse_pattern("<<a.b>>"))
+    assert instances.sequences(1, 4) == {(("n", 1), ("s", "a.b"), ("n", 4))}
+
+
+def test_nested_counts_outgoing_instances(tiny_db):
+    # [a] at node 1 counts the two outgoing a-instances.
+    assert count(tiny_db, "[a]", 1, 1) == 2
+    assert count(tiny_db, "[a]", 3, 3) == 0
+
+
+def test_nested_is_diagonal_only(tiny_db):
+    instances = enumerate_instances(tiny_db, parse_pattern("[a]"))
+    assert all(u == v for u, v in instances.pairs())
+
+
+def test_star_on_acyclic_label(tiny_db):
+    # b edges: 2->4, 3->4, 1->2.  b* from 1: eps, 1->2, 1->2->4.
+    assert count(tiny_db, "b*", 1, 1) == 1
+    assert count(tiny_db, "b*", 1, 2) == 1
+    assert count(tiny_db, "b*", 1, 4) == 1
+
+
+def test_star_diverges_on_cycle(tiny_db):
+    # c edges form the cycle 4 <-> 5.
+    with pytest.raises(StarDivergenceError):
+        enumerate_instances(tiny_db, parse_pattern("c*"))
+
+
+def test_star_depth_bound_respected(tiny_db):
+    with pytest.raises(StarDivergenceError):
+        enumerate_instances(tiny_db, parse_pattern("c*"), max_star_depth=3)
+
+
+def test_self_loop_concat(tiny_db):
+    # 2 -a-> 2 self loop: a.a from 1 reaches 2 via loop.
+    assert count(tiny_db, "a.a", 1, 2) == 1
+
+
+def test_reverse_step_involutive():
+    assert reverse_step("a") == "a-"
+    assert reverse_step("a-") == "a"
+    assert reverse_step(reverse_step("p-in")) == "p-in"
+
+
+def test_reverse_sequence():
+    sequence = (("n", 1), ("s", "a"), ("n", 2))
+    assert reverse_sequence(sequence) == (("n", 2), ("s", "a-"), ("n", 1))
+    assert reverse_sequence(reverse_sequence(sequence)) == sequence
+
+
+def test_join_sequences_requires_shared_endpoint():
+    first = (("n", 1), ("s", "a"), ("n", 2))
+    second = (("n", 2), ("s", "b"), ("n", 3))
+    joined = join_sequences(first, second)
+    assert joined == (("n", 1), ("s", "a"), ("n", 2), ("s", "b"), ("n", 3))
+    with pytest.raises(ValueError):
+        join_sequences(first, first)
+
+
+def test_pattern_type_checked(tiny_db):
+    with pytest.raises(TypeError):
+        enumerate_instances(tiny_db, "a")
+
+
+def test_count_matrix_dict(tiny_db):
+    from repro.lang import count_matrix_dict
+
+    counts = count_matrix_dict(tiny_db, parse_pattern("a"))
+    assert counts[(1, 2)] == 1
+    assert (2, 4) not in counts

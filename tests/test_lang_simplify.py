@@ -1,0 +1,124 @@
+"""Tests for algebraic pattern simplification.
+
+Every rewrite must preserve the commuting matrix; the final test checks
+that on random patterns via the matrix engine.
+"""
+
+import pytest
+
+from repro.lang import CommutingMatrixEngine, parse_pattern, simplify
+from repro.lang.simplify import size
+
+
+def simp(text):
+    return str(simplify(parse_pattern(text)))
+
+
+def test_double_reverse_collapses():
+    assert simp("a--") == "a"
+    assert simp("a----") == "a"
+
+
+def test_reverse_pushed_through_concat():
+    assert simp("(a.b)-") == "b-.a-"
+
+
+def test_reverse_pushed_through_union():
+    assert simp("(a+b)-") == "a-+b-"
+
+
+def test_reverse_of_nested_is_dropped():
+    assert simp("[a]-") == "[a]"
+
+
+def test_skip_of_single_label():
+    assert simp("<<a>>") == "a"
+    assert simp("<<a->>") == "a-"
+
+
+def test_skip_of_skip():
+    assert simp("<<<<a.b>>>>") == "<<a.b>>"
+
+
+def test_skip_of_composite_kept():
+    assert simp("<<a.b>>") == "<<a.b>>"
+
+
+def test_skip_of_epsilon():
+    assert simp("<<eps>>") == "eps"
+
+
+def test_nested_of_epsilon():
+    assert simp("[eps]") == "eps"
+
+
+def test_epsilon_dropped_from_concat():
+    assert simp("a.eps.b") == "a.b"
+    assert simp("eps.a") == "a"
+
+
+def test_duplicate_disjuncts_deduplicated():
+    assert simp("a+a") == "a"
+    assert simp("a+b+a") == "a+b"
+
+
+def test_star_of_star():
+    assert simp("a**") == "a*"
+
+
+def test_star_of_epsilon():
+    assert simp("eps*") == "eps"
+
+
+def test_recursive_simplification():
+    assert simp("[<<a>>.eps]") == "[a]"
+    assert simp("(<<b->>+<<b->>).a--") == "b-.a"
+
+
+def test_idempotent():
+    pattern = parse_pattern("<<(a.b)->>.[c--]")
+    once = simplify(pattern)
+    assert simplify(once) == once
+
+
+def test_simple_patterns_untouched():
+    assert simp("a.b-.c") == "a.b-.c"
+
+
+def test_size_metric():
+    assert size(parse_pattern("a")) == 1
+    assert size(parse_pattern("a.b")) == 3
+    assert size(parse_pattern("[a.b]")) == 4
+
+
+def test_simplification_never_grows():
+    for text in ["<<a>>.b--", "(a+a).(b.eps)", "[<<a->>]", "((a.b)-)-"]:
+        pattern = parse_pattern(text)
+        assert size(simplify(pattern)) <= size(pattern)
+
+
+def test_rejects_non_pattern():
+    with pytest.raises(TypeError):
+        simplify("a")
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "a--",
+        "(a.b)-",
+        "<<a>>",
+        "<<<<a.b>>>>",
+        "a.eps.b",
+        "a+a",
+        "[eps]",
+        "[<<a>>.b]",
+        "(a+b)-.c",
+        "<<a->>.[b--]",
+    ],
+)
+def test_simplification_preserves_commuting_matrix(tiny_db, text):
+    engine = CommutingMatrixEngine(tiny_db)
+    original = parse_pattern(text)
+    simplified = simplify(original)
+    assert abs(engine.matrix(original) - engine.matrix(simplified)).max() == 0

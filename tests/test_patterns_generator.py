@@ -1,0 +1,197 @@
+"""Tests for Algorithms 1 & 2 and the Section-6 filters."""
+
+import pytest
+
+from repro.constraints import parse_tgd
+from repro.datasets.schemas import BIOMED_SCHEMA, DBLP_SCHEMA, WSU_SCHEMA
+from repro.exceptions import ConstraintError
+from repro.lang import parse_pattern, simple_steps
+from repro.patterns import (
+    generate_patterns,
+    label_definitions,
+    mod_pattern_refs,
+    nontrivial,
+    relevant_to_pattern,
+    select_constraints,
+    split_constraints,
+)
+
+
+DBLP_TGD = DBLP_SCHEMA.constraints[0]
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2
+# ----------------------------------------------------------------------
+def test_mod_pattern_refs_finds_replacements():
+    steps = simple_steps(parse_pattern("r-a-.p-in"))
+    replacements = mod_pattern_refs(DBLP_TGD, steps)
+    assert replacements
+    patterns = {str(r.pattern) for r in replacements}
+    assert "<<r-a-.p-in>>" in patterns
+    assert "r-a-.p-in.[p-in-]" in patterns
+
+
+def test_mod_pattern_refs_never_returns_identity():
+    steps = simple_steps(parse_pattern("r-a-.p-in"))
+    for replacement in mod_pattern_refs(DBLP_TGD, steps):
+        assert replacement.pattern != replacement.original
+
+
+def test_mod_pattern_refs_localizes_positions():
+    steps = simple_steps(parse_pattern("p-in-.r-a-.p-in.p-in-"))
+    for replacement in mod_pattern_refs(DBLP_TGD, steps):
+        assert 0 <= replacement.start < len(steps)
+        assert replacement.start + replacement.length <= len(steps)
+
+
+def test_mod_pattern_refs_conclusion_filter():
+    # Sub-pattern p-in.p-in- contains no conclusion label (r-a), so the
+    # Section-6.2 filter suppresses its rewrites.
+    steps = simple_steps(parse_pattern("p-in.p-in-"))
+    filtered = mod_pattern_refs(DBLP_TGD, steps, conclusion_filter=True)
+    assert filtered == []
+    unfiltered = mod_pattern_refs(DBLP_TGD, steps, conclusion_filter=False)
+    assert unfiltered
+
+
+def test_label_definitions_for_biomed():
+    constraint = BIOMED_SCHEMA.constraints[1]  # dd-ph-indirect
+    definitions = label_definitions(constraint)
+    assert set(definitions) == {"dd-ph-indirect"}
+    assert "dd-ph-assoc.is-parent-of" in {
+        str(p) for p in definitions["dd-ph-indirect"]
+    }
+
+
+def test_label_definitions_empty_for_recursive_constraint():
+    assert label_definitions(DBLP_TGD) == {}
+
+
+# ----------------------------------------------------------------------
+# Filters
+# ----------------------------------------------------------------------
+def test_nontrivial_filter():
+    trivial = parse_tgd("(x, r-a, y) -> (x, r-a, y)")
+    assert nontrivial([trivial, DBLP_TGD]) == [DBLP_TGD]
+
+
+def test_relevance_filter():
+    pattern = parse_pattern("p-in.p-in-")
+    assert relevant_to_pattern([DBLP_TGD], pattern) == []
+    pattern = parse_pattern("r-a-.r-a")
+    assert relevant_to_pattern([DBLP_TGD], pattern) == [DBLP_TGD]
+
+
+def test_split_constraints():
+    recursive, defining = split_constraints(
+        list(DBLP_SCHEMA.constraints) + list(BIOMED_SCHEMA.constraints)
+    )
+    assert DBLP_TGD in recursive
+    assert len(defining) == 2
+
+
+def test_select_constraints_pipeline():
+    trivial = parse_tgd("(x, r-a, y) -> (x, r-a, y)")
+    pattern = parse_pattern("p-in.p-in-")
+    selected = select_constraints([trivial, DBLP_TGD], pattern)
+    assert selected == []
+    selected = select_constraints(
+        [trivial, DBLP_TGD], pattern, use_filters=False
+    )
+    assert selected == [DBLP_TGD]
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1
+# ----------------------------------------------------------------------
+def test_generate_patterns_includes_original_first():
+    result = generate_patterns("r-a-.p-in.p-in-.r-a", DBLP_SCHEMA.constraints)
+    assert str(result.patterns[0]) == "r-a-.p-in.p-in-.r-a"
+
+
+def test_generate_patterns_produces_skip_variants():
+    result = generate_patterns(
+        "r-a-.p-in.p-in-.r-a", DBLP_SCHEMA.constraints, max_patterns=64
+    )
+    texts = {str(p) for p in result}
+    assert any("<<" in t for t in texts)
+    assert any("[" in t for t in texts)
+
+
+def test_generate_patterns_biomed_definitions():
+    result = generate_patterns(
+        "dd-ph-indirect.ph-pr-assoc.targets-", BIOMED_SCHEMA.constraints
+    )
+    texts = {str(p) for p in result}
+    assert "dd-ph-assoc.is-parent-of.ph-pr-assoc.targets-" in texts
+    assert "<<dd-ph-assoc.is-parent-of>>.ph-pr-assoc.targets-" in texts
+
+
+def test_generate_patterns_reversed_defined_label():
+    result = generate_patterns(
+        "dd-ph-indirect-", BIOMED_SCHEMA.constraints
+    )
+    texts = {str(p) for p in result}
+    assert "is-parent-of-.dd-ph-assoc-" in texts
+
+
+def test_generate_patterns_no_constraints_returns_input():
+    result = generate_patterns("r-a-.r-a", [])
+    assert len(result) == 1
+    assert result.constraints_used == 0
+
+
+def test_generate_patterns_irrelevant_constraints_ignored():
+    result = generate_patterns("t.t-", WSU_SCHEMA.constraints)
+    assert len(result) == 1
+
+
+def test_generate_patterns_unique():
+    result = generate_patterns(
+        "r-a-.p-in.p-in-.r-a", DBLP_SCHEMA.constraints, max_patterns=64
+    )
+    assert len(result.patterns) == len(set(result.patterns))
+
+
+def test_generate_patterns_cap_and_truncation_flag():
+    result = generate_patterns(
+        "r-a-.p-in.p-in-.r-a", DBLP_SCHEMA.constraints, max_patterns=10
+    )
+    assert len(result) <= 10
+    assert result.truncated
+
+
+def test_generate_patterns_rejects_rre_input():
+    with pytest.raises(ConstraintError):
+        generate_patterns("[r-a]", DBLP_SCHEMA.constraints)
+
+
+def test_generate_patterns_rejects_empty():
+    with pytest.raises(ConstraintError):
+        generate_patterns("eps", DBLP_SCHEMA.constraints)
+
+
+def test_generate_patterns_rejects_non_pattern():
+    with pytest.raises(TypeError):
+        generate_patterns(99, DBLP_SCHEMA.constraints)
+
+
+def test_generation_result_repr_and_iter():
+    result = generate_patterns("r-a-.r-a", [])
+    assert "patterns=1" in repr(result)
+    assert list(result) == result.patterns
+
+
+def test_without_filters_generates_superset():
+    filtered = generate_patterns(
+        "p-in.p-in-", DBLP_SCHEMA.constraints, max_patterns=64
+    )
+    unfiltered = generate_patterns(
+        "p-in.p-in-",
+        DBLP_SCHEMA.constraints,
+        use_filters=False,
+        max_patterns=64,
+    )
+    assert set(filtered.patterns) <= set(unfiltered.patterns)
+    assert len(unfiltered.patterns) > len(filtered.patterns)

@@ -1,0 +1,115 @@
+"""Tests for premise-graph traversal enumeration (Section 5 example)."""
+
+import pytest
+
+from repro.constraints import PremiseGraph, parse_tgd
+from repro.exceptions import CyclicPremiseError
+from repro.lang import parse_pattern
+from repro.patterns import enumerate_traversals
+
+
+DBLP_TGD = parse_tgd(
+    "(x1, r-a, x3) & (x1, p-in, x4) & (x2, p-in, x4) -> (x2, r-a, x3)"
+)
+
+
+def strs(patterns):
+    return {str(p) for p in patterns}
+
+
+def test_paper_example_traversals():
+    """Section 5's worked example: traversals of G_pre(gamma1) from the
+    area variable to the proceedings variable are a.p, <<a.p>>,
+    a.p.[p-], <<a.p>>.[p-].  In our premise-graph orientation (r-a goes
+    paper -> area) the spine from x3 (area) to x4 (proceedings) is
+    r-a-.p-in and the branch is the second p-in edge to x2."""
+    graph = PremiseGraph(DBLP_TGD)
+    found = strs(enumerate_traversals(graph, "x3", "x4"))
+    assert "r-a-.p-in" in found
+    assert "<<r-a-.p-in>>" in found
+    assert "r-a-.p-in.[p-in-]" in found
+    assert "<<r-a-.p-in>>.[p-in-]" in found
+
+
+def test_plain_spine_is_first():
+    graph = PremiseGraph(DBLP_TGD)
+    patterns = enumerate_traversals(graph, "x3", "x4")
+    assert str(patterns[0]) == "r-a-.p-in"
+    # Between directly connected variables the spine is the single edge.
+    direct = enumerate_traversals(graph, "x1", "x4")
+    assert str(direct[0]) == "p-in"
+
+
+def test_traversals_between_disconnected_variables():
+    tgd = parse_tgd("(x, a, y) & (u, b, v) -> (x, a, v)")
+    graph = PremiseGraph(tgd)
+    assert enumerate_traversals(graph, "x", "u") == []
+
+
+def test_traversals_reverse_direction():
+    graph = PremiseGraph(DBLP_TGD)
+    found = strs(enumerate_traversals(graph, "x4", "x3"))
+    assert "p-in-.r-a" in found
+
+
+def test_traversals_between_the_two_papers():
+    graph = PremiseGraph(DBLP_TGD)
+    found = strs(enumerate_traversals(graph, "x2", "x1"))
+    # spine p-in.p-in-; branch at x1: the r-a edge to the leaf x3.
+    assert "p-in.p-in-" in found
+    assert "p-in.p-in-.[r-a]" in found
+
+
+def test_branch_positions_respected():
+    # Chain premise with a side branch in the middle:
+    tgd = parse_tgd(
+        "(x, a, y) & (y, b, z) & (y, c, w) -> (x, d, z)"
+    )
+    graph = PremiseGraph(tgd)
+    found = strs(enumerate_traversals(graph, "x", "z"))
+    assert "a.b" in found
+    assert "a.[c].b" in found
+    # segments on either side of the branch skip independently
+    assert "<<a>>.[c].b" in found
+    assert "a.[c].<<b>>" in found
+
+
+def test_deep_branch_nested_recursively():
+    tgd = parse_tgd(
+        "(x, a, y) & (y, b, z) & (z, c, w) -> (x, d, y)"
+    )
+    graph = PremiseGraph(tgd)
+    found = strs(enumerate_traversals(graph, "x", "y"))
+    assert "a" in found
+    # branch from y is the chain b.c
+    assert "a.[b.c]" in found
+    # sub-branch nesting variant
+    assert "a.[b.[c]]" in found
+
+
+def test_max_patterns_cap():
+    graph = PremiseGraph(DBLP_TGD)
+    capped = enumerate_traversals(graph, "x1", "x4", max_patterns=3)
+    assert len(capped) <= 3
+
+
+def test_cyclic_premise_rejected():
+    tgd = parse_tgd("(x, a, y) & (y, b, x) -> (x, c, y)")
+    graph = PremiseGraph(tgd)
+    with pytest.raises(CyclicPremiseError):
+        enumerate_traversals(graph, "x", "y")
+
+
+def test_all_results_unique():
+    graph = PremiseGraph(DBLP_TGD)
+    patterns = enumerate_traversals(graph, "x1", "x4")
+    assert len(patterns) == len(set(patterns))
+
+
+def test_traversals_same_start_and_end():
+    graph = PremiseGraph(DBLP_TGD)
+    patterns = enumerate_traversals(graph, "x1", "x1")
+    # Empty spine; branches of x1 may still be nested (or nothing at all,
+    # which yields no pattern pieces).
+    for pattern in patterns:
+        assert "[" in str(pattern)

@@ -1,0 +1,113 @@
+"""Smoke tests for the public API surface and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    AsymmetricPatternError,
+    ConstraintError,
+    CyclicPremiseError,
+    EvaluationError,
+    NotInvertibleError,
+    PatternSyntaxError,
+    ReproError,
+    SchemaError,
+    StarDivergenceError,
+    TransformationError,
+    UnknownLabelError,
+    UnknownNodeError,
+)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_all_exports_resolve():
+    import repro.constraints
+    import repro.datasets
+    import repro.eval
+    import repro.graph
+    import repro.lang
+    import repro.patterns
+    import repro.similarity
+    import repro.transform
+
+    for module in (
+        repro.constraints,
+        repro.datasets,
+        repro.eval,
+        repro.graph,
+        repro.lang,
+        repro.patterns,
+        repro.similarity,
+        repro.transform,
+    ):
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize(
+    "exception",
+    [
+        SchemaError,
+        UnknownLabelError,
+        UnknownNodeError,
+        PatternSyntaxError,
+        StarDivergenceError,
+        ConstraintError,
+        CyclicPremiseError,
+        TransformationError,
+        NotInvertibleError,
+        EvaluationError,
+        AsymmetricPatternError,
+    ],
+)
+def test_every_library_error_is_a_repro_error(exception):
+    assert issubclass(exception, ReproError)
+
+
+def test_cyclic_premise_is_constraint_error():
+    assert issubclass(CyclicPremiseError, ConstraintError)
+
+
+def test_not_invertible_is_transformation_error():
+    assert issubclass(NotInvertibleError, TransformationError)
+
+
+def test_asymmetric_is_evaluation_error():
+    assert issubclass(AsymmetricPatternError, EvaluationError)
+
+
+def test_unknown_label_error_carries_context():
+    error = UnknownLabelError("x", ["a", "b"])
+    assert error.label == "x"
+    assert error.schema_labels == {"a", "b"}
+
+
+def test_star_divergence_reports_depth():
+    from repro.lang import parse_pattern
+
+    error = StarDivergenceError(parse_pattern("a*"), 7)
+    assert error.depth == 7
+    assert "a*" in str(error)
+
+
+def test_docstring_example_from_package():
+    """The module docstring's API tour must actually run."""
+    from repro import CommutingMatrixEngine, GraphDatabase, Schema, parse_pattern
+
+    schema = Schema(["p-in", "r-a"])
+    db = GraphDatabase(schema)
+    db.add_edge("paper:1", "p-in", "VLDB")
+    db.add_edge("paper:2", "p-in", "VLDB")
+    engine = CommutingMatrixEngine(db)
+    score = engine.pathsim_score(
+        parse_pattern("p-in.p-in-"), "paper:1", "paper:2"
+    )
+    assert score == pytest.approx(1.0)

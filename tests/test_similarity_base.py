@@ -1,0 +1,92 @@
+"""Tests for Ranking and candidate selection."""
+
+import pytest
+
+from repro.graph import GraphDatabase, Schema
+from repro.similarity import Ranking
+from repro.similarity.base import SimilarityAlgorithm
+
+
+def test_ranking_sorts_by_score_desc():
+    ranking = Ranking([("a", 0.1), ("b", 0.9), ("c", 0.5)])
+    assert ranking.top() == ["b", "c", "a"]
+
+
+def test_ranking_breaks_ties_by_node_id():
+    ranking = Ranking([("z", 0.5), ("a", 0.5), ("m", 0.5)])
+    assert ranking.top() == ["a", "m", "z"]
+
+
+def test_ranking_top_k():
+    ranking = Ranking([("a", 3.0), ("b", 2.0), ("c", 1.0)])
+    assert ranking.top(2) == ["a", "b"]
+    assert len(ranking.items(2)) == 2
+
+
+def test_ranking_score_and_position():
+    ranking = Ranking([("a", 3.0), ("b", 2.0)])
+    assert ranking.score_of("b") == 2.0
+    assert ranking.score_of("zz") is None
+    assert ranking.position_of("a") == 1
+    assert ranking.position_of("b") == 2
+    assert ranking.position_of("zz") is None
+
+
+def test_ranking_iteration_and_len():
+    ranking = Ranking([("a", 1.0)])
+    assert list(ranking) == ["a"]
+    assert len(ranking) == 1
+
+
+class ConstantAlgorithm(SimilarityAlgorithm):
+    """Scores every candidate 1.0; used to test the base-class plumbing."""
+
+    name = "Constant"
+
+    def scores(self, query):
+        return {node: 1.0 for node in self.candidates(query)}
+
+
+@pytest.fixture
+def typed_db():
+    db = GraphDatabase(Schema(["e"]))
+    db.add_node("p1", "paper")
+    db.add_node("p2", "paper")
+    db.add_node("p3", "paper")
+    db.add_node("v1", "venue")
+    db.add_edge("p1", "e", "v1")
+    return db
+
+
+def test_candidates_default_same_type(typed_db):
+    algorithm = ConstantAlgorithm(typed_db)
+    assert set(algorithm.candidates("p1")) == {"p2", "p3"}
+
+
+def test_candidates_never_include_query(typed_db):
+    algorithm = ConstantAlgorithm(typed_db)
+    assert "p1" not in algorithm.candidates("p1")
+
+
+def test_candidates_with_answer_type(typed_db):
+    algorithm = ConstantAlgorithm(typed_db, answer_type="venue")
+    assert algorithm.candidates("p1") == ["v1"]
+
+
+def test_candidates_untyped_query_gets_all_nodes():
+    db = GraphDatabase(Schema(["e"]))
+    db.add_edge(1, "e", 2)
+    db.add_edge(2, "e", 3)
+    algorithm = ConstantAlgorithm(db)
+    assert set(algorithm.candidates(1)) == {2, 3}
+
+
+def test_rank_truncation(typed_db):
+    algorithm = ConstantAlgorithm(typed_db)
+    assert len(algorithm.rank("p1", top_k=1)) == 1
+    assert len(algorithm.rank("p1")) == 2
+
+
+def test_base_scores_not_implemented(typed_db):
+    with pytest.raises(NotImplementedError):
+        SimilarityAlgorithm(typed_db).scores("p1")

@@ -1,0 +1,72 @@
+"""Tests for the common-neighbors and Katz baselines."""
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.graph import GraphDatabase, Schema
+from repro.similarity import CommonNeighbors, Katz
+
+
+def test_common_neighbors_counts_shared(fig1):
+    scores = CommonNeighbors(fig1).scores("DataMining")
+    # DataMining shares 2 papers with Databases, 1 with SE.
+    assert scores["Databases"] == 2.0
+    assert scores["SoftwareEngineering"] == 1.0
+
+
+def test_common_neighbors_symmetric(fig1):
+    algorithm = CommonNeighbors(fig1)
+    ab = algorithm.scores("DataMining")["Databases"]
+    ba = algorithm.scores("Databases")["DataMining"]
+    assert ab == ba
+
+
+def test_common_neighbors_isolated_node():
+    db = GraphDatabase(Schema(["e"]))
+    db.add_node("a", "t")
+    db.add_node("b", "t")
+    db.add_edge("c", "e", "b")
+    algorithm = CommonNeighbors(db)
+    assert algorithm.scores("a")["b"] == 0.0
+
+
+def test_katz_prefers_many_short_walks(fig1):
+    scores = Katz(fig1, beta=0.05).scores("DataMining")
+    assert scores["Databases"] > scores["SoftwareEngineering"] > 0.0
+
+
+def test_katz_beta_validation(fig1):
+    with pytest.raises(EvaluationError):
+        Katz(fig1, beta=0.5)  # beta * max_degree >= 1
+    with pytest.raises(EvaluationError):
+        Katz(fig1, beta=-1.0)
+
+
+def test_katz_scores_grow_with_beta(fig1):
+    low = Katz(fig1, beta=0.01).scores("DataMining")["Databases"]
+    high = Katz(fig1, beta=0.05).scores("DataMining")["Databases"]
+    assert high > low
+
+
+def test_katz_deterministic(fig1):
+    assert (
+        Katz(fig1, beta=0.02).scores("DataMining")
+        == Katz(fig1, beta=0.02).scores("DataMining")
+    )
+
+
+def test_neighborhood_baselines_not_robust(dblp_small):
+    """Section 4.1's claim: these measures inherit non-robustness."""
+    from repro.datasets import sample_queries_by_degree
+    from repro.transform import dblp2sigm
+
+    db = dblp_small.database
+    variant = dblp2sigm().apply(db)
+    queries = sample_queries_by_degree(db, "proc", 10, seed=4)
+    changed = 0
+    for query in queries:
+        before = CommonNeighbors(db).rank(query, top_k=5).top()
+        after = CommonNeighbors(variant).rank(query, top_k=5).top()
+        if before != after:
+            changed += 1
+    assert changed > 0

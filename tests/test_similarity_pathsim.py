@@ -1,0 +1,86 @@
+"""Tests for PathSim over commuting matrices."""
+
+import pytest
+
+from repro.exceptions import AsymmetricPatternError
+from repro.lang import CommutingMatrixEngine, parse_pattern
+from repro.similarity import PathSim, is_symmetric_meta_path
+
+
+def test_symmetric_meta_path_detection():
+    assert is_symmetric_meta_path(parse_pattern("p-in.p-in-"))
+    assert is_symmetric_meta_path(parse_pattern("r-a-.p-in.p-in-.r-a"))
+    assert not is_symmetric_meta_path(parse_pattern("p-in.r-a"))
+    assert not is_symmetric_meta_path(parse_pattern("[p-in]"))
+
+
+def test_strict_symmetry_rejects_asymmetric(fig1):
+    with pytest.raises(AsymmetricPatternError):
+        PathSim(fig1, "p-in.r-a", strict_symmetry=True)
+
+
+def test_figure1_example5_ordering(fig1):
+    """PathSim with p1 finds Data Mining closer to Databases than to
+    Software Engineering over Figure 1(a) — the paper's Example 5."""
+    algorithm = PathSim(fig1, "r-a-.p-in.p-in-.r-a")
+    ranking = algorithm.rank("DataMining")
+    databases = ranking.score_of("Databases")
+    software = ranking.score_of("SoftwareEngineering")
+    assert databases > software
+
+
+def test_self_similarity_excluded_from_answers(fig1):
+    ranking = PathSim(fig1, "r-a-.p-in.p-in-.r-a").rank("DataMining")
+    assert "DataMining" not in ranking.top()
+
+
+def test_candidates_restricted_to_same_type(fig1):
+    ranking = PathSim(fig1, "r-a-.p-in.p-in-.r-a").rank("DataMining")
+    assert set(ranking.top()) <= {"Databases", "SoftwareEngineering"}
+
+
+def test_scores_match_engine(fig1):
+    pattern = parse_pattern("r-a-.p-in.p-in-.r-a")
+    engine = CommutingMatrixEngine(fig1)
+    algorithm = PathSim(fig1, pattern, engine=engine)
+    scores = algorithm.scores("DataMining")
+    for node, score in scores.items():
+        assert score == pytest.approx(
+            engine.pathsim_score(pattern, "DataMining", node)
+        )
+
+
+def test_accepts_pattern_ast(fig1):
+    pattern = parse_pattern("r-a-.r-a")
+    algorithm = PathSim(fig1, pattern)
+    assert algorithm.pattern is pattern
+
+
+def test_rejects_non_pattern(fig1):
+    with pytest.raises(TypeError):
+        PathSim(fig1, 42)
+
+
+def test_shared_engine_reuses_matrices(fig1):
+    engine = CommutingMatrixEngine(fig1)
+    PathSim(fig1, "r-a-.r-a", engine=engine).rank("DataMining")
+    size_after_first = engine.cache_size()
+    PathSim(fig1, "r-a-.r-a", engine=engine).rank("Databases")
+    assert engine.cache_size() == size_after_first
+
+
+def test_pathsim_score_range(dblp_small):
+    """PathSim scores for symmetric patterns lie in [0, 1]."""
+    db = dblp_small.database
+    algorithm = PathSim(db, "p-in-.r-a.r-a-.p-in")
+    scores = algorithm.scores("proc:0")
+    assert scores
+    assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+
+def test_pathsim_symmetric_scores(dblp_small):
+    db = dblp_small.database
+    algorithm = PathSim(db, "p-in-.r-a.r-a-.p-in")
+    ab = algorithm.scores("proc:0").get("proc:1")
+    ba = algorithm.scores("proc:1").get("proc:0")
+    assert ab == pytest.approx(ba)

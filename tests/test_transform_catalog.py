@@ -1,0 +1,113 @@
+"""Tests for the paper's concrete transformations (Section 7.1)."""
+
+import pytest
+
+from repro.constraints import satisfies
+from repro.datasets import figure1_dblp
+from repro.transform import (
+    EXPERIMENT_PATTERNS,
+    biomedt,
+    biomedt_lossy,
+    dblp2sigm,
+    dblp2sigm_lossy,
+    dblp2sigmx,
+    verify_derived_constraints,
+    verify_roundtrip,
+    wsuc2alch,
+)
+
+
+def test_dblp2sigm_moves_area_edges(fig1):
+    out = dblp2sigm().apply(fig1)
+    assert out.has_edge("VLDB", "r-a", "DataMining")
+    assert out.has_edge("VLDB", "r-a", "Databases")
+    assert not out.has_edge("PatternMining", "r-a", "DataMining")
+    # p-in edges preserved
+    assert out.has_edge("PatternMining", "p-in", "VLDB")
+
+
+def test_dblp2sigm_roundtrip_on_figure1(fig1):
+    assert verify_roundtrip(dblp2sigm(), fig1, raise_on_failure=True)
+
+
+def test_dblp2sigm_roundtrip_on_generated(dblp_small):
+    assert verify_roundtrip(dblp2sigm(), dblp_small.database)
+
+
+def test_dblp2sigm_derived_constraints_on_figure1(fig1):
+    assert verify_derived_constraints(dblp2sigm(), fig1)
+
+
+def test_dblp2sigmx_adds_record_nodes(dblp_small):
+    db = dblp_small.database
+    out = dblp2sigmx().apply(db)
+    records = out.nodes_of_type("pubrec")
+    assert records
+    # every record connects one author and one proceedings
+    record = records[0]
+    assert len(out.successors(record, "rec-of")) == 1
+    assert len(out.successors(record, "rec-in")) == 1
+
+
+def test_dblp2sigmx_one_record_per_author_proc_pair(fig1):
+    fig1.add_edge("alice", "w", "PatternMining")
+    fig1.add_edge("alice", "w", "SimilarityMining")
+    out = dblp2sigmx().apply(fig1)
+    # alice published two papers in VLDB but gets a single record node.
+    assert len(out.nodes_of_type("pubrec")) == 1
+
+
+def test_dblp2sigmx_roundtrip(dblp_small):
+    assert verify_roundtrip(dblp2sigmx(), dblp_small.database)
+
+
+def test_dblp2sigmx_roundtrip_with_multiplicity(fig1):
+    # Multiple target databases (different record node counts) must all
+    # map back to the same original.
+    assert verify_roundtrip(dblp2sigmx(), fig1, multiplicity=2)
+
+
+def test_wsuc2alch_moves_subject_edges(wsu_bundle):
+    db = wsu_bundle.database
+    out = wsuc2alch().apply(db)
+    assert list(out.edges("cs"))
+    assert not list(out.edges("os"))
+    assert verify_roundtrip(wsuc2alch(), db)
+
+
+def test_biomedt_drops_indirect_labels(biomed_bundle):
+    db = biomed_bundle.database
+    out = biomedt().apply(db)
+    assert "ph-a-indirect" not in out.schema.labels
+    assert not [e for e in out.edges() if e[1].endswith("indirect")]
+
+
+def test_biomedt_roundtrip(biomed_bundle):
+    assert verify_roundtrip(
+        biomedt(), biomed_bundle.database, raise_on_failure=True
+    )
+
+
+def test_lossy_dblp_loses_edges(dblp_small):
+    db = dblp_small.database
+    lossy = dblp2sigm_lossy(keep=0.95, seed=3)
+    exact = dblp2sigm().apply(db)
+    damaged = lossy.apply(db)
+    lost = len(exact.edge_set()) - len(damaged.edge_set())
+    assert lost == pytest.approx(0.05 * exact.num_edges(), abs=2)
+
+
+def test_lossy_biomed_name():
+    assert biomedt_lossy(keep=0.95).name == "BioMedT(0.95)"
+
+
+def test_transformed_database_satisfies_target_constraint(fig1):
+    out = dblp2sigm().apply(fig1)
+    for constraint in out.schema.constraints:
+        assert satisfies(out, constraint)
+
+
+def test_experiment_patterns_cover_all_transformations():
+    assert set(EXPERIMENT_PATTERNS) == {"DBLP2SIGM", "WSUC2ALCH", "BioMedT"}
+    for spec in EXPERIMENT_PATTERNS.values():
+        assert {"query_type", "answer_type", "relsim_source"} <= set(spec)

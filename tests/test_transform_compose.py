@@ -1,0 +1,130 @@
+"""Tests for mapping composition and derived source constraints."""
+
+import pytest
+
+from repro.constraints import satisfies
+from repro.constraints.tgd import Atom
+from repro.exceptions import TransformationError
+from repro.graph import Schema
+from repro.transform import (
+    Rule,
+    SchemaMapping,
+    biomedt,
+    compose_inverse,
+    copy_rule,
+    dblp2sigm,
+    derived_source_constraints,
+    wsuc2alch,
+)
+
+
+def test_dblp_composition_recovers_example4(fig1):
+    """The composed constraint matches Example 4's tgd on Figure 1(a)."""
+    constraints = derived_source_constraints(dblp2sigm())
+    assert len(constraints) == 1
+    constraint = constraints[0]
+    # Premise labels: one p-in copy atom plus the producer's p-in & r-a.
+    assert constraint.premise_labels() == {"p-in", "r-a"}
+    assert constraint.conclusion_labels() == {"r-a"}
+    assert not constraint.is_trivial()
+    assert satisfies(fig1, constraint)
+
+
+def test_wsu_composition_is_satisfied(wsu_bundle):
+    constraints = derived_source_constraints(wsuc2alch())
+    assert len(constraints) == 1
+    assert satisfies(wsu_bundle.database, constraints[0])
+
+
+def test_biomed_composition_nontrivial_count():
+    constraints = derived_source_constraints(biomedt())
+    # One constraint per indirect label (the copies are trivial).
+    assert len(constraints) == 2
+    conclusions = {
+        label for c in constraints for label in c.conclusion_labels()
+    }
+    assert conclusions == {"ph-a-indirect", "dd-ph-indirect"}
+
+
+def test_keep_trivial_includes_copies():
+    with_trivial = compose_inverse(dblp2sigm())
+    without = derived_source_constraints(dblp2sigm())
+    assert len(with_trivial) > len(without)
+    assert all(not c.is_trivial() for c in without)
+
+
+def test_compose_requires_inverse():
+    schema = Schema(["a"])
+    mapping = SchemaMapping("m", schema, schema, [copy_rule("a")])
+    with pytest.raises(TransformationError):
+        compose_inverse(mapping)
+
+
+def test_compose_rejects_unproduced_label():
+    source = Schema(["a", "b"])
+    target = Schema(["a", "b"])
+    forward = SchemaMapping("f", source, target, [copy_rule("a")])
+    # inverse premise mentions b, which no forward rule produces.
+    inverse = SchemaMapping(
+        "f-inv", target, source, [copy_rule("a"), copy_rule("b")]
+    )
+    forward.with_inverse(inverse)
+    with pytest.raises(TransformationError):
+        compose_inverse(forward)
+
+
+def test_compose_rejects_existential_endpoint():
+    source = Schema(["a", "b"])
+    target = Schema(["a", "b"])
+    forward = SchemaMapping(
+        "f",
+        source,
+        target,
+        [
+            copy_rule("a"),
+            Rule([Atom("x", "a", "y")], [Atom("x", "b", "z")]),
+        ],
+    )
+    inverse = SchemaMapping(
+        "f-inv",
+        target,
+        source,
+        [
+            copy_rule("a"),
+            Rule([Atom("x", "b", "y")], [Atom("x", "b", "y")]),
+        ],
+    )
+    forward.with_inverse(inverse)
+    # b is produced on the existential node z: second-order case.
+    with pytest.raises(TransformationError):
+        compose_inverse(forward)
+
+
+def test_composition_violated_by_constraint_breaking_database(fig1):
+    """A database violating the paper's constraint fails Proposition 1."""
+    fig1.add_edge("Rogue", "p-in", "VLDB")  # paper without VLDB's areas
+    constraint = derived_source_constraints(dblp2sigm())[0]
+    assert not satisfies(fig1, constraint)
+
+
+def test_reversed_atom_in_inverse_premise():
+    source = Schema(["a", "c"])
+    target = Schema(["a", "c"])
+    forward = SchemaMapping(
+        "f",
+        source,
+        target,
+        [copy_rule("a"), Rule([Atom("x", "a", "y")], [Atom("y", "c", "x")])],
+    )
+    inverse = SchemaMapping(
+        "f-inv",
+        target,
+        source,
+        [
+            copy_rule("a"),
+            Rule([Atom("x", "c-", "y")], [Atom("x", "c", "y")]),
+        ],
+    )
+    forward.with_inverse(inverse)
+    constraints = compose_inverse(forward)
+    assert constraints  # reversed premise atoms compose without error

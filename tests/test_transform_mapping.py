@@ -1,0 +1,161 @@
+"""Unit tests for schema mappings and closed-world application."""
+
+import pytest
+
+from repro.constraints.tgd import Atom
+from repro.exceptions import TransformationError
+from repro.graph import GraphDatabase, Schema
+from repro.transform import Rule, SchemaMapping, copy_rule
+
+
+SOURCE = Schema(["a", "b"])
+TARGET = Schema(["a", "c"])
+
+
+def make_db(edges):
+    db = GraphDatabase(SOURCE)
+    db.add_edges(edges)
+    return db
+
+
+def test_copy_rule_is_identity():
+    rule = copy_rule("a")
+    assert rule.is_copy_rule()
+    assert rule.conclusion_labels() == {"a"}
+
+
+def test_rule_rejects_complex_conclusion():
+    with pytest.raises(TransformationError):
+        Rule([Atom("x", "a", "y")], [Atom("x", "a*", "y")])
+
+
+def test_rule_normalizes_concat_conclusion():
+    rule = Rule([Atom("x", "a", "y")], [Atom("x", "c.c", "z")])
+    assert len(rule.conclusion) == 2
+    assert rule.existential_variables() == {"z", "_f1"}
+
+
+def test_mapping_validates_source_labels():
+    with pytest.raises(TransformationError):
+        SchemaMapping(
+            "bad",
+            SOURCE,
+            TARGET,
+            [Rule([Atom("x", "zzz", "y")], [Atom("x", "a", "y")])],
+        )
+
+
+def test_mapping_validates_target_labels():
+    with pytest.raises(TransformationError):
+        SchemaMapping(
+            "bad",
+            SOURCE,
+            TARGET,
+            [Rule([Atom("x", "a", "y")], [Atom("x", "b", "y")])],
+        )
+
+
+def test_apply_copy_rules():
+    mapping = SchemaMapping("copy", SOURCE, TARGET, [copy_rule("a")])
+    db = make_db([(1, "a", 2), (1, "b", 3)])
+    out = mapping.apply(db)
+    assert out.edge_set() == frozenset({(1, "a", 2)})  # b not copied
+
+
+def test_apply_join_rule():
+    rule = Rule(
+        [Atom("x", "a", "y"), Atom("y", "b", "z")],
+        [Atom("x", "c", "z")],
+    )
+    mapping = SchemaMapping("join", SOURCE, TARGET, [rule])
+    db = make_db([(1, "a", 2), (2, "b", 3), (2, "b", 4)])
+    out = mapping.apply(db)
+    assert out.edge_set() == frozenset({(1, "c", 3), (1, "c", 4)})
+
+
+def test_apply_reversed_conclusion_atom():
+    rule = Rule([Atom("x", "a", "y")], [Atom("y", "c-", "x")])
+    mapping = SchemaMapping("rev", SOURCE, TARGET, [rule])
+    out = mapping.apply(make_db([(1, "a", 2)]))
+    # (y, c-, x) constructs the edge (x, c, y).
+    assert out.edge_set() == frozenset({(1, "c", 2)})
+
+
+def test_apply_existential_mints_fresh_nodes():
+    rule = Rule(
+        [Atom("x", "a", "y")],
+        [Atom("x", "c", "z")],
+        fresh_types={"z": "minted"},
+    )
+    mapping = SchemaMapping("fresh", SOURCE, TARGET, [rule])
+    out = mapping.apply(make_db([(1, "a", 2)]))
+    edges = list(out.edges("c"))
+    assert len(edges) == 1
+    fresh = edges[0][2]
+    assert out.node_type(fresh) == "minted"
+
+
+def test_apply_existential_deterministic():
+    rule = Rule([Atom("x", "a", "y")], [Atom("x", "c", "z")])
+    mapping = SchemaMapping("fresh", SOURCE, TARGET, [rule])
+    db = make_db([(1, "a", 2)])
+    assert mapping.apply(db).edge_set() == mapping.apply(db).edge_set()
+
+
+def test_apply_multiplicity_mints_multiple():
+    rule = Rule([Atom("x", "a", "y")], [Atom("x", "c", "z")])
+    mapping = SchemaMapping("fresh", SOURCE, TARGET, [rule])
+    out = mapping.apply(make_db([(1, "a", 2)]), multiplicity=3)
+    assert len(list(out.edges("c"))) == 3
+
+
+def test_apply_multiplicity_noop_without_existentials():
+    mapping = SchemaMapping("copy", SOURCE, TARGET, [copy_rule("a")])
+    db = make_db([(1, "a", 2)])
+    assert mapping.apply(db, multiplicity=3).edge_set() == frozenset(
+        {(1, "a", 2)}
+    )
+
+
+def test_apply_invalid_multiplicity():
+    mapping = SchemaMapping("copy", SOURCE, TARGET, [copy_rule("a")])
+    with pytest.raises(TransformationError):
+        mapping.apply(make_db([]), multiplicity=0)
+
+
+def test_apply_carries_node_types():
+    mapping = SchemaMapping("copy", SOURCE, TARGET, [copy_rule("a")])
+    db = make_db([(1, "a", 2)])
+    db.add_node(1, "paper")
+    out = mapping.apply(db)
+    assert out.node_type(1) == "paper"
+
+
+def test_closed_world_drops_untouched_nodes():
+    mapping = SchemaMapping("copy", SOURCE, TARGET, [copy_rule("a")])
+    db = make_db([(1, "a", 2), (3, "b", 4)])
+    out = mapping.apply(db)
+    assert not out.has_node(3)
+    assert not out.has_node(4)
+
+
+def test_preserved_labels():
+    rule = Rule([Atom("x", "a.b", "z")], [Atom("x", "c", "z")])
+    mapping = SchemaMapping("m", SOURCE, TARGET, [copy_rule("a"), rule])
+    assert mapping.preserved_labels() == {"a"}
+
+
+def test_rre_premise_with_skip():
+    rule = Rule([Atom("x", "<<a.b>>", "z")], [Atom("x", "c", "z")])
+    mapping = SchemaMapping("skip", SOURCE, TARGET, [rule])
+    db = make_db([(1, "a", 2), (1, "a", 3), (2, "b", 4), (3, "b", 4)])
+    out = mapping.apply(db)
+    # Two a.b paths from 1 to 4 collapse to a single premise match.
+    assert out.edge_set() == frozenset({(1, "c", 4)})
+
+
+def test_with_inverse_fluent():
+    forward = SchemaMapping("f", SOURCE, TARGET, [copy_rule("a")])
+    backward = SchemaMapping("b", TARGET, SOURCE, [copy_rule("a")])
+    assert forward.with_inverse(backward) is forward
+    assert forward.inverse is backward

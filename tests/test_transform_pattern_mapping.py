@@ -1,0 +1,133 @@
+"""Tests for the Theorem-2 constructive pattern mapping."""
+
+import pytest
+
+from repro.exceptions import TransformationError
+from repro.graph import MatrixView, NodeIndexer
+from repro.lang import CommutingMatrixEngine, parse_pattern
+from repro.transform import (
+    SchemaMapping,
+    biomedt,
+    copy_rule,
+    dblp2sigm,
+    label_substitutions,
+    map_pattern,
+    wsuc2alch,
+)
+
+
+def test_dblp_substitutions():
+    subs = label_substitutions(dblp2sigm())
+    assert str(subs["w"]) == "w"
+    assert str(subs["p-in"]) == "p-in"
+    assert str(subs["r-a"]) == "<<p-in.r-a>>"
+
+
+def test_wsu_substitutions():
+    subs = label_substitutions(wsuc2alch())
+    assert str(subs["os"]) == "<<co.cs>>"
+
+
+def test_biomed_substitutions():
+    subs = label_substitutions(biomedt())
+    assert str(subs["ph-a-indirect"]) == "<<is-parent-of-.ph-a-assoc>>"
+    assert str(subs["dd-ph-indirect"]) == "<<dd-ph-assoc.is-parent-of>>"
+    assert str(subs["targets"]) == "targets"
+
+
+def test_map_pattern_structural():
+    mapping = dblp2sigm()
+    pattern = parse_pattern("r-a-.p-in.p-in-.r-a")
+    mapped = map_pattern(mapping, pattern)
+    assert str(mapped) == "<<r-a-.p-in->>.p-in.p-in-.<<p-in.r-a>>"
+
+
+def test_map_pattern_commutes_with_operators():
+    mapping = dblp2sigm()
+    mapped = map_pattern(mapping, parse_pattern("[r-a]+<<p-in>>*"))
+    assert str(mapped) == "[<<p-in.r-a>>]+<<p-in>>*"
+
+
+def test_map_pattern_requires_inverse():
+    from repro.datasets.schemas import DBLP_SCHEMA, SIGM_SCHEMA
+
+    mapping = SchemaMapping(
+        "noinv", DBLP_SCHEMA, SIGM_SCHEMA, [copy_rule("w")]
+    )
+    with pytest.raises(TransformationError):
+        map_pattern(mapping, parse_pattern("w"))
+
+
+def test_map_pattern_unknown_label():
+    mapping = wsuc2alch()
+    with pytest.raises(TransformationError):
+        # Substitutions that do not cover the pattern's label must fail
+        # loudly rather than silently keeping the source label.
+        map_pattern(
+            mapping,
+            parse_pattern("t"),
+            substitutions={"other": parse_pattern("t")},
+        )
+
+
+@pytest.mark.parametrize(
+    "pattern_text",
+    [
+        "r-a",
+        "r-a-",
+        "r-a-.r-a",
+        "p-in.p-in-",
+        "r-a-.p-in.p-in-.r-a",
+        "[r-a-]",
+        "<<r-a-.p-in>>",
+        "w.r-a",
+    ],
+)
+def test_theorem2_counts_preserved_on_figure1(fig1, pattern_text):
+    """|I^{u,v}_D(p)| == |I^{u,v}_{Sigma(D)}(M(p))| for preserved nodes."""
+    mapping = dblp2sigm()
+    pattern = parse_pattern(pattern_text)
+    mapped = map_pattern(mapping, pattern)
+    variant = mapping.apply(fig1)
+
+    indexer = NodeIndexer(fig1.nodes())
+    source_engine = CommutingMatrixEngine(MatrixView(fig1, indexer))
+    target_engine = CommutingMatrixEngine(MatrixView(variant, indexer))
+    source_matrix = source_engine.matrix(pattern)
+    target_matrix = target_engine.matrix(mapped)
+    assert abs(source_matrix - target_matrix).max() == 0
+
+
+def test_theorem2_counts_preserved_on_generated_dblp(dblp_small):
+    mapping = dblp2sigm()
+    db = dblp_small.database
+    pattern = parse_pattern("r-a-.p-in.p-in-.r-a")
+    mapped = map_pattern(mapping, pattern)
+    variant = mapping.apply(db)
+
+    indexer = NodeIndexer(db.nodes())
+    source = CommutingMatrixEngine(MatrixView(db, indexer)).matrix(pattern)
+    target = CommutingMatrixEngine(MatrixView(variant, indexer)).matrix(mapped)
+    assert abs(source - target).max() == 0
+
+
+def test_theorem2_counts_preserved_on_biomed(biomed_bundle):
+    mapping = biomedt()
+    db = biomed_bundle.database
+    pattern = parse_pattern("dd-ph-indirect.ph-pr-assoc.targets-")
+    mapped = map_pattern(mapping, pattern)
+    variant = mapping.apply(db)
+
+    indexer = NodeIndexer(db.nodes())
+    source = CommutingMatrixEngine(MatrixView(db, indexer)).matrix(pattern)
+    target = CommutingMatrixEngine(MatrixView(variant, indexer)).matrix(mapped)
+    assert abs(source - target).max() == 0
+
+
+def test_substitutions_amortized():
+    mapping = dblp2sigm()
+    subs = label_substitutions(mapping)
+    first = map_pattern(mapping, parse_pattern("r-a"), substitutions=subs)
+    second = map_pattern(mapping, parse_pattern("r-a-"), substitutions=subs)
+    assert str(first) == "<<p-in.r-a>>"
+    assert str(second) == "<<r-a-.p-in->>"
