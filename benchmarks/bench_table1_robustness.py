@@ -10,11 +10,10 @@ that it is exactly 0.
 Expected shape: RelSim == 0 everywhere; every baseline well above 0.
 """
 
-from repro.core import RelSim
+from repro.api import SimilaritySession
 from repro.datasets import sample_queries_by_degree
 from repro.eval import RobustnessExperiment, robustness_table
 from repro.lang import parse_pattern
-from repro.similarity import RWR, HeteSim, PathSim, SimRank
 from repro.transform import (
     EXPERIMENT_PATTERNS,
     biomedt,
@@ -37,23 +36,32 @@ def _symmetric_setup(bundle, mapping, spec_key, num_queries=50):
     queries = sample_queries_by_degree(
         db, spec["query_type"], num_queries, seed=0
     )
+    # One session per side: RelSim and PathSim share every commuting
+    # matrix they have in common instead of re-materializing it.
     algorithms = {
         "RelSim": (
-            lambda d: RelSim(d, p_src),
-            lambda d: RelSim(d, p_tgt),
+            lambda s: s.algorithm("relsim", pattern=p_src),
+            lambda s: s.algorithm("relsim", pattern=p_tgt),
         ),
         "PathSim": (
-            lambda d: PathSim(d, spec["pathsim_source"]),
-            lambda d: PathSim(d, spec["pathsim_target"]),
+            lambda s: s.algorithm("pathsim", pattern=spec["pathsim_source"]),
+            lambda s: s.algorithm("pathsim", pattern=spec["pathsim_target"]),
         ),
-        "RWR": (lambda d: RWR(d), lambda d: RWR(d)),
-        "SimRank": (lambda d: SimRank(d), lambda d: SimRank(d)),
+        "RWR": (
+            lambda s: s.algorithm("rwr"),
+            lambda s: s.algorithm("rwr"),
+        ),
+        "SimRank": (
+            lambda s: s.algorithm("simrank"),
+            lambda s: s.algorithm("simrank"),
+        ),
     }
     return RobustnessExperiment(
         db,
         variant,
         algorithms,
         queries,
+        sessions=(SimilaritySession(db), SimilaritySession(variant)),
         transformation_name=spec_key,
     )
 
@@ -67,26 +75,39 @@ def _biomed_setup(bundle, num_queries=30):
     queries = list(bundle.ground_truth)[:num_queries]
     algorithms = {
         "RelSim": (
-            lambda d: RelSim(d, p_src, scoring="cosine", answer_type="drug"),
-            lambda d: RelSim(d, p_tgt, scoring="cosine", answer_type="drug"),
+            lambda s: s.algorithm(
+                "relsim", pattern=p_src, scoring="cosine", answer_type="drug"
+            ),
+            lambda s: s.algorithm(
+                "relsim", pattern=p_tgt, scoring="cosine", answer_type="drug"
+            ),
         ),
         # Disease->drug paths are asymmetric: the paper evaluates them
         # with HeteSim instead of PathSim.
         "PathSim/HeteSim": (
-            lambda d: HeteSim(d, spec["pathsim_source"], answer_type="drug"),
-            lambda d: HeteSim(d, spec["pathsim_target"], answer_type="drug"),
+            lambda s: s.algorithm(
+                "hetesim", pattern=spec["pathsim_source"], answer_type="drug"
+            ),
+            lambda s: s.algorithm(
+                "hetesim", pattern=spec["pathsim_target"], answer_type="drug"
+            ),
         ),
         "RWR": (
-            lambda d: RWR(d, answer_type="drug"),
-            lambda d: RWR(d, answer_type="drug"),
+            lambda s: s.algorithm("rwr", answer_type="drug"),
+            lambda s: s.algorithm("rwr", answer_type="drug"),
         ),
         "SimRank": (
-            lambda d: SimRank(d, answer_type="drug"),
-            lambda d: SimRank(d, answer_type="drug"),
+            lambda s: s.algorithm("simrank", answer_type="drug"),
+            lambda s: s.algorithm("simrank", answer_type="drug"),
         ),
     }
     return RobustnessExperiment(
-        db, variant, algorithms, queries, transformation_name="BioMedT"
+        db,
+        variant,
+        algorithms,
+        queries,
+        sessions=(SimilaritySession(db), SimilaritySession(variant)),
+        transformation_name="BioMedT",
     )
 
 

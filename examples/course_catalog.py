@@ -21,7 +21,7 @@ This example:
 Run:  python examples/course_catalog.py
 """
 
-from repro import RWR, PathSim, RelSim, parse_pattern
+from repro import SimilaritySession, parse_pattern
 from repro.datasets import generate_wsu, sample_queries_by_degree
 from repro.eval import RobustnessExperiment, robustness_table
 from repro.patterns import generate_patterns
@@ -60,22 +60,31 @@ def main():
     print("RelSim pattern, Alchemy side:", p_tgt)
     print()
 
+    # One session per catalog shape: the three algorithms on each side
+    # share that side's materialized matrices, and the workload is
+    # scored through the batch path.
+    wsu_session = SimilaritySession(db)
+    alch_session = SimilaritySession(variant)
     queries = sample_queries_by_degree(db, "course", 40, seed=0)
     experiment = RobustnessExperiment(
         db,
         variant,
         {
             "PathSim": (
-                lambda d: PathSim(d, "co-.os.os-.co"),
-                lambda d: PathSim(d, "cs.cs-"),
+                lambda s: s.algorithm("pathsim", pattern="co-.os.os-.co"),
+                lambda s: s.algorithm("pathsim", pattern="cs.cs-"),
             ),
-            "RWR": (lambda d: RWR(d), lambda d: RWR(d)),
+            "RWR": (
+                lambda s: s.algorithm("rwr"),
+                lambda s: s.algorithm("rwr"),
+            ),
             "RelSim": (
-                lambda d: RelSim(d, p_src),
-                lambda d: RelSim(d, p_tgt),
+                lambda s: s.algorithm("relsim", pattern=p_src),
+                lambda s: s.algorithm("relsim", pattern=p_tgt),
             ),
         },
         queries=queries,
+        sessions=(wsu_session, alch_session),
         transformation_name="WSUC2ALCH",
     )
     print(robustness_table([experiment.run()],
@@ -83,11 +92,15 @@ def main():
     print()
 
     # ------------------------------------------------------------------
-    # One concrete query, side by side.
+    # One concrete query, side by side (fluent form).
     # ------------------------------------------------------------------
     query = queries[0]
-    wsu_top = RelSim(db, p_src).rank(query, top_k=5).top()
-    alch_top = RelSim(variant, p_tgt).rank(query, top_k=5).top()
+    wsu_top = (
+        wsu_session.query(query).using("relsim", pattern=p_src).top(5).top()
+    )
+    alch_top = (
+        alch_session.query(query).using("relsim", pattern=p_tgt).top(5).top()
+    )
     print("RelSim top-5 for {} on WSU:    {}".format(query, wsu_top))
     print("RelSim top-5 for {} on Alchemy:{}".format(query, alch_top))
     assert wsu_top == alch_top

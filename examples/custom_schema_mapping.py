@@ -24,7 +24,13 @@ Run:  python examples/custom_schema_mapping.py
 import os
 import tempfile
 
-from repro import GraphDatabase, RelSim, Schema, parse_pattern, parse_tgd
+from repro import (
+    GraphDatabase,
+    Schema,
+    SimilaritySession,
+    parse_pattern,
+    parse_tgd,
+)
 from repro.constraints.tgd import Atom
 from repro.graph.io import load_json, save_json
 from repro.transform import (
@@ -161,8 +167,16 @@ def main():
 
     variant = mapping.apply(db)
     query = "gs1"
-    source_top = RelSim(db, pattern).rank(query, top_k=4)
-    feed_top = RelSim(variant, translated).rank(query, top_k=4)
+    # One fluent session per shape; "relsim" is resolved through the
+    # algorithm registry.
+    source_top = (
+        SimilaritySession(db)
+        .query(query).using("relsim", pattern=pattern).top(4)
+    )
+    feed_top = (
+        SimilaritySession(variant)
+        .query(query).using("relsim", pattern=translated).top(4)
+    )
     print("RelSim top-4 for {} on source: {}".format(query, source_top.top()))
     print("RelSim top-4 for {} on feed:   {}".format(query, feed_top.top()))
     assert source_top.top() == feed_top.top()

@@ -19,7 +19,7 @@ This example shows:
 Run:  python examples/drug_repurposing.py
 """
 
-from repro import RWR, HeteSim, RelSim, SimRank, parse_pattern
+from repro import RWR, HeteSim, RelSim, SimilaritySession, SimRank, parse_pattern
 from repro.datasets import generate_biomed_small
 from repro.eval import (
     EffectivenessExperiment,
@@ -88,20 +88,26 @@ def main():
     print()
 
     # ------------------------------------------------------------------
-    # The usability layer (Section 5): the user supplies only the simple
-    # meta-path; Algorithm 1 consults the schema constraints.
+    # The usability layer (Section 5) through the session facade: the
+    # user supplies only the simple meta-path; the fluent builder runs
+    # Algorithm 1 against the schema constraints, and the whole query
+    # workload is scored in one batch (one sparse row slice per
+    # pattern, shared matrices for every algorithm on this session).
     # ------------------------------------------------------------------
-    usable = RelSim.from_simple_pattern(
-        db,
-        spec["relsim_source"],
-        scoring="cosine",
-        answer_type="drug",
+    session = SimilaritySession(db)
+    builder = (
+        session.query(next(iter(bundle.ground_truth)))
+        .using("relsim", pattern=spec["relsim_source"],
+               scoring="cosine", answer_type="drug")
+        .expand_patterns()
     )
+    usable = builder.build()
     print("Algorithm 1 expanded the simple input into {} RREs:".format(
-        len(usable.patterns)))
-    for pattern in usable.patterns:
+        len(builder.patterns_used)))
+    for pattern in builder.patterns_used:
         print("   ", pattern)
-    rankings = {q: usable.rank(q).top() for q in bundle.ground_truth}
+    batch = session.rank_many(bundle.ground_truth, algorithm=usable)
+    rankings = {q: ranking.top() for q, ranking in batch.items()}
     print("Aggregated-RelSim MRR: {:.3f}".format(
         mean_reciprocal_rank(rankings, bundle.ground_truth)))
     print()
@@ -111,9 +117,11 @@ def main():
     # ------------------------------------------------------------------
     query = next(iter(bundle.ground_truth))
     relevant = bundle.ground_truth[query]
-    ranking = RelSim(
-        db, p_src, scoring="cosine", answer_type="drug"
-    ).rank(query, top_k=5)
+    ranking = (
+        session.query(query)
+        .using("relsim", pattern=p_src, scoring="cosine", answer_type="drug")
+        .top(5)
+    )
     print("Top-5 drugs for {} (expert answer: {}):".format(query, relevant))
     for position, (drug, score) in enumerate(ranking.items(), start=1):
         marker = "  <== relevant" if drug == relevant else ""

@@ -2,9 +2,11 @@
 
 This walks the paper's Figure-1 example end to end:
 
-1. build the DBLP-style bibliographic fragment;
+1. build the DBLP-style bibliographic fragment and open a
+   ``SimilaritySession`` — the one entry point: every algorithm asked of
+   the session shares one engine of materialized matrices;
 2. ask "which research area is most similar to Data Mining?" with
-   PathSim, SimRank, RWR and RelSim;
+   PathSim, SimRank, RWR and RelSim, all by registry name;
 3. restructure the database into the SIGMOD-Record style (areas attach
    to proceedings instead of papers) with the DBLP2SIGM transformation;
 4. show that the baselines change their answers while RelSim — with the
@@ -13,9 +15,9 @@ This walks the paper's Figure-1 example end to end:
 Run:  python examples/quickstart.py
 """
 
-from repro import RWR, PathSim, RelSim, SimRank, parse_pattern
-from repro.datasets import figure1_dblp
+from repro import SimilaritySession, parse_pattern
 from repro.transform import dblp2sigm, map_pattern
+from repro.datasets import figure1_dblp
 
 
 def show_ranking(title, ranking):
@@ -29,6 +31,7 @@ def main():
     # 1. The Figure-1(a) fragment: papers, conferences, research areas.
     # ------------------------------------------------------------------
     db = figure1_dblp()
+    session = SimilaritySession(db)
     print("Original database:", db)
     print()
 
@@ -36,15 +39,18 @@ def main():
     # 2. Similarity search on the original structure.
     #    The relationship: areas are similar when the same conferences
     #    publish papers in them (area <- paper -> proc <- paper -> area).
+    #    One session: PathSim and RelSim share the commuting matrices.
     # ------------------------------------------------------------------
     pattern = parse_pattern("r-a-.p-in.p-in-.r-a")
     query = "DataMining"
 
     print("Who is most similar to {!r}?".format(query))
-    show_ranking("PathSim", PathSim(db, pattern).rank(query))
-    show_ranking("SimRank", SimRank(db).rank(query))
-    show_ranking("RWR", RWR(db).rank(query))
-    relsim = RelSim(db, pattern)
+    show_ranking(
+        "PathSim", session.query(query).using("pathsim", pattern=pattern).rank()
+    )
+    show_ranking("SimRank", session.query(query).using("simrank").rank())
+    show_ranking("RWR", session.query(query).using("rwr").rank())
+    relsim = session.algorithm("relsim", pattern=pattern)
     show_ranking("RelSim", relsim.rank(query))
     print()
 
@@ -58,24 +64,37 @@ def main():
     print()
 
     # ------------------------------------------------------------------
-    # 4. Same question over the new structure.
-    #    Baselines run on the new topology; RelSim uses the pattern
-    #    translated by the Theorem-2 mapping: r-a  =>  <<p-in.r-a>>.
+    # 4. Same question over the new structure — a fresh session, because
+    #    a session is a snapshot of one database.  Baselines run on the
+    #    new topology; RelSim uses the pattern translated by the
+    #    Theorem-2 mapping: r-a  =>  <<p-in.r-a>>.
     # ------------------------------------------------------------------
     translated = map_pattern(mapping, pattern)
+    variant_session = SimilaritySession(variant)
     print("RelSim pattern over the new structure:", translated)
     print()
 
     print("Who is most similar to {!r} now?".format(query))
     # The natural simple pattern over the new structure for PathSim:
-    show_ranking("PathSim", PathSim(variant, "r-a-.r-a").rank(query))
-    show_ranking("SimRank", SimRank(variant).rank(query))
-    show_ranking("RWR", RWR(variant).rank(query))
-    show_ranking("RelSim", RelSim(variant, translated).rank(query))
+    show_ranking(
+        "PathSim",
+        variant_session.query(query).using("pathsim", pattern="r-a-.r-a").rank(),
+    )
+    show_ranking("SimRank", variant_session.query(query).using("simrank").rank())
+    show_ranking("RWR", variant_session.query(query).using("rwr").rank())
+    show_ranking(
+        "RelSim",
+        variant_session.query(query).using("relsim", pattern=translated).rank(),
+    )
     print()
 
     original = relsim.rank(query).top()
-    after = RelSim(variant, translated).rank(query).top()
+    after = (
+        variant_session.query(query)
+        .using("relsim", pattern=translated)
+        .rank()
+        .top()
+    )
     print("RelSim ranking before:", original)
     print("RelSim ranking after: ", after)
     assert original == after, "RelSim must be structurally robust!"

@@ -10,13 +10,42 @@ Build a graph database::
     db = GraphDatabase(schema)
     db.add_edge("paper:1", "p-in", "VLDB")
 
-Parse and evaluate RRE patterns::
+Open a session — the one entry point for similarity search.  It owns a
+shared :class:`CommutingMatrixEngine`, so every algorithm built through
+it reuses the same materialized sparse matrices::
 
-    from repro import parse_pattern, CommutingMatrixEngine
-    engine = CommutingMatrixEngine(db)
-    engine.pathsim_score(parse_pattern("p-in.p-in-"), "paper:1", "paper:2")
+    from repro import SimilaritySession
+    session = SimilaritySession(db)
 
-Run robust similarity search::
+Ask a similarity query fluently.  Algorithms are resolved by name
+through the registry (``available_algorithms()`` lists them;
+``register_algorithm`` plugs in your own)::
+
+    ranking = (
+        session.query("VLDB")
+        .using("relsim", pattern="p-in-.r-a.r-a-.p-in")
+        .top(10)
+    )
+
+The usability layer (Section 5): hand over a *simple* pattern and let
+Algorithm 1 expand it into the structurally robust RRE set::
+
+    ranking = (
+        session.query("VLDB")
+        .using("relsim", pattern="p-in-.p-in")
+        .expand_patterns(max_patterns=16)
+        .top(10)
+    )
+
+Score a whole workload in one pass — one sparse row slice per pattern
+instead of one extraction per query::
+
+    rankings = session.rank_many(
+        ["VLDB", "SIGMOD"], algorithm="relsim",
+        pattern="p-in-.r-a.r-a-.p-in", top_k=10,
+    )
+
+Direct construction still works (the facade wraps, it doesn't break)::
 
     from repro import RelSim
     relsim = RelSim(db, "p-in-.r-a.r-a-.p-in")
@@ -30,6 +59,13 @@ Transform a database and carry the pattern across::
     translated = map_pattern(mapping, relsim.patterns[0])
 """
 
+from repro.api import (
+    QueryBuilder,
+    SimilaritySession,
+    available_algorithms,
+    register_algorithm,
+)
+
 from repro.constraints import Atom, Egd, Tgd, parse_tgd, satisfies
 from repro.core import RelSim
 from repro.exceptions import (
@@ -39,6 +75,7 @@ from repro.exceptions import (
     EvaluationError,
     NotInvertibleError,
     PatternSyntaxError,
+    RegistryError,
     ReproError,
     SchemaError,
     StarDivergenceError,
@@ -83,22 +120,27 @@ __all__ = [
     "PatternRWR",
     "PatternSimRank",
     "PatternSyntaxError",
+    "QueryBuilder",
     "RWR",
     "Ranking",
+    "RegistryError",
     "RelSim",
     "ReproError",
     "Schema",
     "SchemaError",
     "SimRank",
+    "SimilaritySession",
     "StarDivergenceError",
     "Tgd",
     "TransformationError",
     "UnknownLabelError",
     "UnknownNodeError",
+    "available_algorithms",
     "enumerate_instances",
     "generate_patterns",
     "parse_pattern",
     "parse_tgd",
+    "register_algorithm",
     "satisfies",
     "simple_pattern",
 ]

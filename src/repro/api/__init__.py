@@ -1,0 +1,26 @@
+"""The session facade and algorithm registry (the library's front door).
+
+``SimilaritySession`` owns one shared ``CommutingMatrixEngine`` so every
+algorithm built through it reuses materialized matrices; the registry
+makes algorithms constructible by name; ``rank_many`` scores whole
+workloads in one sparse row slice per pattern.
+"""
+
+from repro.api.registry import (
+    algorithm_class,
+    algorithm_parameters,
+    available_algorithms,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.api.session import QueryBuilder, SimilaritySession
+
+__all__ = [
+    "QueryBuilder",
+    "SimilaritySession",
+    "algorithm_class",
+    "algorithm_parameters",
+    "available_algorithms",
+    "register_algorithm",
+    "unregister_algorithm",
+]

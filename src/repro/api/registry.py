@@ -1,0 +1,135 @@
+"""The pluggable similarity-algorithm registry.
+
+The paper's usability argument (Sections 2 and 5) is that the *system*,
+not the caller, should own the mapping from "what the user asks for" to
+"how it is computed".  This module is the name half of that mapping: a
+process-wide table from short names (``"relsim"``, ``"pathsim"``, ...)
+to :class:`~repro.similarity.base.SimilarityAlgorithm` subclasses, so a
+:class:`~repro.api.session.SimilaritySession` — or the CLI's
+``--algorithm`` flag — can construct any algorithm by name.
+
+All seed algorithms are pre-registered; downstream code plugs in its own
+with :func:`register_algorithm`::
+
+    from repro.api import register_algorithm
+
+    class MySim(SimilarityAlgorithm):
+        ...
+
+    register_algorithm("mysim", MySim)
+    session.algorithm("mysim", ...)
+"""
+
+import inspect
+
+from repro.exceptions import RegistryError
+from repro.similarity.base import SimilarityAlgorithm
+
+_REGISTRY = {}
+
+
+def register_algorithm(name, algorithm_class, replace=False):
+    """Make ``algorithm_class`` constructible by ``name``.
+
+    Raises :class:`RegistryError` on duplicate names unless ``replace``
+    is True, and rejects classes that are not
+    :class:`SimilarityAlgorithm` subclasses (the session relies on the
+    ``scores``/``rank``/``rank_many`` contract).
+    """
+    if not isinstance(name, str) or not name:
+        raise RegistryError(
+            "algorithm name must be a non-empty string, got {!r}".format(name)
+        )
+    if not (
+        isinstance(algorithm_class, type)
+        and issubclass(algorithm_class, SimilarityAlgorithm)
+    ):
+        raise RegistryError(
+            "{!r} is not a SimilarityAlgorithm subclass".format(
+                algorithm_class
+            )
+        )
+    key = name.lower()
+    if key in _REGISTRY and not replace:
+        raise RegistryError(
+            "algorithm {!r} is already registered (to {}); pass "
+            "replace=True to overwrite".format(
+                name, _REGISTRY[key].__name__
+            )
+        )
+    _REGISTRY[key] = algorithm_class
+    return algorithm_class
+
+
+def unregister_algorithm(name):
+    """Remove a registration (mainly for tests); unknown names error."""
+    try:
+        del _REGISTRY[name.lower()]
+    except KeyError:
+        raise RegistryError(
+            "algorithm {!r} is not registered".format(name)
+        ) from None
+
+
+def available_algorithms():
+    """Sorted names of every registered algorithm."""
+    return sorted(_REGISTRY)
+
+
+def algorithm_class(name):
+    """The class registered under ``name``; unknown names error."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise RegistryError(
+            "unknown algorithm {!r}; available: {}".format(
+                name, ", ".join(available_algorithms()) or "(none)"
+            )
+        ) from None
+
+
+def algorithm_parameters(name):
+    """Constructor keyword names of the registered class (no ``self``).
+
+    Used by the session to normalize ``pattern``/``patterns`` spellings
+    and to skip engine injection for classes that do not accept one.
+    """
+    signature = inspect.signature(algorithm_class(name).__init__)
+    return [
+        parameter
+        for parameter in signature.parameters
+        if parameter not in ("self", "args", "kwargs")
+    ]
+
+
+def _register_seed_algorithms():
+    # Imported lazily so `repro.api` does not import the whole
+    # similarity package at module-import time of the registry itself.
+    from repro.core.relsim import RelSim
+    from repro.similarity.hetesim import HeteSim
+    from repro.similarity.neighborhood import CommonNeighbors, Katz
+    from repro.similarity.pathsim import PathSim
+    from repro.similarity.pattern_constrained import (
+        PatternRWR,
+        PatternSimRank,
+    )
+    from repro.similarity.rwr import RWR
+    from repro.similarity.simrank import SimRank
+
+    seed = {
+        "relsim": RelSim,
+        "pathsim": PathSim,
+        "hetesim": HeteSim,
+        "rwr": RWR,
+        "simrank": SimRank,
+        "pattern-rwr": PatternRWR,
+        "pattern-simrank": PatternSimRank,
+        "common-neighbors": CommonNeighbors,
+        "katz": Katz,
+    }
+    for name, cls in seed.items():
+        if name not in _REGISTRY:
+            register_algorithm(name, cls)
+
+
+_register_seed_algorithms()

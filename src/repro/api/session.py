@@ -1,0 +1,288 @@
+"""`SimilaritySession` — the one entry point for similarity search.
+
+The seed library made every caller hand-wire ``GraphDatabase`` +
+``CommutingMatrixEngine`` + pattern parsing + per-algorithm
+constructors, and each algorithm silently built its *own* engine,
+re-materializing the same sparse matrices.  A session inverts that: it
+owns one shared engine (with an optional bounded LRU over commuting
+matrices and column norms) and every algorithm constructed through it
+reuses those matrices.
+
+Three levels of API, lowest to highest::
+
+    session = SimilaritySession(db)
+
+    # 1. construct algorithms by registry name, engine injected
+    relsim = session.algorithm("relsim", pattern="p-in.p-in-")
+
+    # 2. fluent single-query builder (with Algorithm-1 expansion)
+    ranking = (
+        session.query("proc:0")
+        .using("relsim", pattern="p-in.p-in-", scoring="cosine")
+        .expand_patterns(max_patterns=16)
+        .top(10)
+    )
+
+    # 3. batch path: all queries scored in one sparse row slice
+    rankings = session.rank_many(queries, algorithm="relsim",
+                                 pattern="p-in.p-in-", top_k=10)
+"""
+
+from repro.api.registry import algorithm_class, algorithm_parameters
+from repro.exceptions import EvaluationError
+from repro.lang.matrix_semantics import CommutingMatrixEngine
+from repro.similarity.base import SimilarityAlgorithm
+
+
+class SimilaritySession:
+    """A shared-engine facade over one database snapshot.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.graph.database.GraphDatabase` to search.
+    engine:
+        Optional pre-built :class:`CommutingMatrixEngine` — pass one
+        built on a shared :class:`~repro.graph.matrices.NodeIndexer`
+        when comparing scores across structural variants.
+    max_star_depth:
+        Forwarded to the engine (Kleene-star expansion bound).
+    max_cached_matrices:
+        When set, the engine keeps at most this many commuting matrices
+        (LRU eviction).  Default: keep everything.
+
+    The session is a *snapshot*, like the engine: mutate the database
+    afterwards and cached matrices go stale — open a new session.
+    """
+
+    def __init__(
+        self,
+        database,
+        engine=None,
+        max_star_depth=None,
+        max_cached_matrices=None,
+    ):
+        self._database = database
+        if engine is None:
+            engine = CommutingMatrixEngine(
+                database,
+                max_star_depth=max_star_depth,
+                max_cached_matrices=max_cached_matrices,
+            )
+        self._engine = engine
+
+    @property
+    def database(self):
+        return self._database
+
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def view(self):
+        return self._engine.view
+
+    @property
+    def indexer(self):
+        return self._engine.indexer
+
+    def materialize(self, max_length=3, labels=None):
+        """Precompute commuting matrices for meta-paths up to a length.
+
+        The paper's Section-7.3 "materialize and pre-load" setting;
+        returns the number of matrices now cached.
+        """
+        return self._engine.materialize_simple_patterns(
+            max_length=max_length, labels=labels
+        )
+
+    def cache_info(self):
+        """The shared engine's cache counters (matrices, norms, hits)."""
+        return self._engine.cache_info()
+
+    # ------------------------------------------------------------------
+    # Construction by name
+    # ------------------------------------------------------------------
+    def algorithm(self, name, **options):
+        """Construct a registered algorithm with the shared engine.
+
+        ``pattern=`` and ``patterns=`` are interchangeable — the session
+        maps whichever the caller wrote onto whichever the class
+        declares (RelSim aggregates several patterns, the others take
+        one).  The shared engine is injected whenever the class accepts
+        an ``engine`` (every seed algorithm does); externally registered
+        classes without one are constructed as-is.
+        """
+        parameters = algorithm_parameters(name)
+        options = self._normalize_pattern_option(name, parameters, options)
+        if "engine" in parameters:
+            options.setdefault("engine", self._engine)
+        elif "view" in parameters:
+            options.setdefault("view", self._engine.view)
+        return algorithm_class(name)(self._database, **options)
+
+    @staticmethod
+    def _normalize_pattern_option(name, parameters, options):
+        options = dict(options)
+        if "pattern" in options and "patterns" in options:
+            raise EvaluationError(
+                "pass either pattern= or patterns=, not both"
+            )
+        for given, wanted in (("pattern", "patterns"), ("patterns", "pattern")):
+            if given in options and given not in parameters:
+                if wanted not in parameters:
+                    raise EvaluationError(
+                        "algorithm {!r} does not take a pattern".format(name)
+                    )
+                value = options.pop(given)
+                if given == "patterns" and isinstance(value, (list, tuple)):
+                    if len(value) != 1:
+                        raise EvaluationError(
+                            "algorithm {!r} takes exactly one pattern, got "
+                            "{}".format(name, len(value))
+                        )
+                    value = value[0]
+                options[wanted] = value
+        return options
+
+    # ------------------------------------------------------------------
+    # Fluent single-query builder
+    # ------------------------------------------------------------------
+    def query(self, node):
+        """A fluent :class:`QueryBuilder` for one query node."""
+        return QueryBuilder(self, node)
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def rank_many(self, queries, algorithm="relsim", top_k=None, **options):
+        """``{query: Ranking}`` for a workload, scored in batch.
+
+        ``algorithm`` is a registry name (constructed with the shared
+        engine and ``options``) or an already-built
+        :class:`SimilarityAlgorithm` instance.  Matrix-backed algorithms
+        score all queries from one sparse row slice per pattern; results
+        are identical to looping ``algorithm.rank(q, top_k)``.
+        """
+        if isinstance(algorithm, SimilarityAlgorithm):
+            if options:
+                raise TypeError(
+                    "options {} are only valid with an algorithm name, "
+                    "not a pre-built instance".format(sorted(options))
+                )
+            instance = algorithm
+        else:
+            instance = self.algorithm(algorithm, **options)
+        return instance.rank_many(list(queries), top_k=top_k)
+
+
+class QueryBuilder:
+    """Fluent builder returned by :meth:`SimilaritySession.query`.
+
+    Chain :meth:`using` (algorithm + options), optionally
+    :meth:`expand_patterns` (the paper's Algorithm 1 usability layer),
+    then finish with :meth:`top`, :meth:`rank` or :meth:`scores`.  The
+    built algorithm is cached, so repeated executions reuse it.
+    """
+
+    def __init__(self, session, node):
+        self._session = session
+        self._node = node
+        self._name = "relsim"
+        self._options = {}
+        self._expand = None
+        self._algorithm = None
+        self._patterns_used = None
+
+    def using(self, name, **options):
+        """Pick the algorithm by registry name, with constructor options."""
+        self._name = name
+        self._options = dict(options)
+        self._algorithm = None
+        return self
+
+    def answers_of_type(self, answer_type):
+        """Restrict answers to one node type (e.g. drugs for diseases)."""
+        self._options["answer_type"] = answer_type
+        self._algorithm = None
+        return self
+
+    def expand_patterns(
+        self, constraints=None, use_filters=True, max_patterns=64
+    ):
+        """Run Algorithm 1 on the supplied simple pattern before scoring.
+
+        The pattern given to :meth:`using` is expanded against the
+        schema's constraints (or an explicit ``constraints`` list) into
+        the robust RRE set, which RelSim aggregates over.  Only valid
+        with pattern-set algorithms (RelSim).
+        """
+        self._expand = {
+            "constraints": constraints,
+            "use_filters": use_filters,
+            "max_patterns": max_patterns,
+        }
+        self._algorithm = None
+        return self
+
+    @property
+    def patterns_used(self):
+        """The patterns the built algorithm scored with (after a run)."""
+        self.build()
+        return self._patterns_used
+
+    def build(self):
+        """Construct (once) and return the underlying algorithm."""
+        if self._algorithm is not None:
+            return self._algorithm
+        options = dict(self._options)
+        if self._expand is not None:
+            from repro.core.relsim import RelSim
+            from repro.patterns.generator import generate_patterns
+
+            if not issubclass(algorithm_class(self._name), RelSim):
+                raise EvaluationError(
+                    "expand_patterns() aggregates a pattern set; only "
+                    "RelSim-style algorithms support it (got {!r})".format(
+                        self._name
+                    )
+                )
+            pattern = options.pop("pattern", None)
+            if pattern is None:
+                pattern = options.pop("patterns", None)
+            if pattern is None:
+                raise EvaluationError(
+                    "expand_patterns() needs the simple input pattern; "
+                    "pass pattern=... to using()"
+                )
+            constraints = self._expand["constraints"]
+            if constraints is None:
+                constraints = self._session.database.schema.constraints
+            generated = generate_patterns(
+                pattern,
+                constraints,
+                use_filters=self._expand["use_filters"],
+                max_patterns=self._expand["max_patterns"],
+            )
+            options["patterns"] = generated.patterns
+        self._algorithm = self._session.algorithm(self._name, **options)
+        self._patterns_used = list(
+            getattr(self._algorithm, "patterns", None)
+            or ([self._algorithm.pattern]
+                if getattr(self._algorithm, "pattern", None) is not None
+                else [])
+        )
+        return self._algorithm
+
+    def scores(self):
+        """``{candidate: score}`` for the query node."""
+        return self.build().scores(self._node)
+
+    def rank(self, top_k=None):
+        """The full (or truncated) :class:`Ranking` for the query node."""
+        return self.build().rank(self._node, top_k=top_k)
+
+    def top(self, k=10):
+        """The top-``k`` :class:`Ranking` — the usual way to finish."""
+        return self.rank(top_k=k)

@@ -5,9 +5,14 @@ Subcommands mirror the research workflow::
     repro generate --dataset dblp --out db.json          # synthesize data
     repro stats db.json                                  # describe it
     repro query db.json --pattern "r-a-.r-a" --node X    # similarity search
+    repro query db.json --algorithm rwr --node X         # any registered algo
+    repro query db.json --pattern "r-a-.r-a" --node X --expand   # Algorithm 1
     repro transform db.json --mapping dblp2sigm --out t.json
     repro patterns db.json --pattern "r-a-.r-a"          # Algorithm 1
     repro robustness --dataset dblp --mapping dblp2sigm  # mini Table 1
+
+Queries go through one :class:`~repro.api.SimilaritySession` per
+database, so every algorithm involved shares materialized matrices.
 
 Entry points: ``python -m repro.cli ...`` or :func:`main` for tests.
 """
@@ -15,7 +20,11 @@ Entry points: ``python -m repro.cli ...`` or :func:`main` for tests.
 import argparse
 import sys
 
-from repro.core import RelSim
+from repro.api import (
+    SimilaritySession,
+    algorithm_parameters,
+    available_algorithms,
+)
 from repro.datasets import (
     generate_biomed_small,
     generate_dblp,
@@ -25,12 +34,11 @@ from repro.datasets import (
     sample_queries_by_degree,
 )
 from repro.eval import RobustnessExperiment, robustness_table
-from repro.exceptions import ReproError
+from repro.exceptions import EvaluationError, ReproError
 from repro.graph.io import load_json, save_json
 from repro.graph.statistics import summarize
 from repro.lang import parse_pattern
 from repro.patterns import generate_patterns
-from repro.similarity import RWR, PathSim
 from repro.transform import (
     EXPERIMENT_PATTERNS,
     biomedt,
@@ -80,9 +88,30 @@ def build_parser():
 
     query = sub.add_parser("query", help="similarity search")
     query.add_argument("database")
-    query.add_argument("--pattern", required=True, help="RRE pattern")
+    query.add_argument(
+        "--pattern",
+        default=None,
+        help="RRE pattern (required for pattern-based algorithms)",
+    )
     query.add_argument("--node", required=True, help="query node id")
     query.add_argument("--top", type=int, default=10)
+    query.add_argument(
+        "--algorithm",
+        choices=available_algorithms(),
+        default="relsim",
+        help="registered algorithm to answer with",
+    )
+    query.add_argument(
+        "--expand",
+        action="store_true",
+        help="run Algorithm 1 on the simple pattern first (RelSim)",
+    )
+    query.add_argument(
+        "--max-expand",
+        type=int,
+        default=16,
+        help="pattern budget for --expand",
+    )
     query.add_argument(
         "--scoring", choices=("pathsim", "count", "cosine"), default="pathsim"
     )
@@ -139,13 +168,46 @@ def _cmd_stats(args, out):
 
 def _cmd_query(args, out):
     database = load_json(args.database)
-    relsim = RelSim(
-        database,
-        parse_pattern(args.pattern),
-        scoring=args.scoring,
-        answer_type=args.answer_type,
-    )
-    ranking = relsim.rank(args.node, top_k=args.top)
+    session = SimilaritySession(database)
+    parameters = algorithm_parameters(args.algorithm)
+    takes_pattern = "pattern" in parameters or "patterns" in parameters
+    if takes_pattern and args.pattern is None:
+        raise EvaluationError(
+            "algorithm {!r} needs --pattern".format(args.algorithm)
+        )
+    if not takes_pattern and args.pattern is not None:
+        hint = "pattern-{}".format(args.algorithm)
+        raise EvaluationError(
+            "algorithm {!r} does not take --pattern{}".format(
+                args.algorithm,
+                " (did you mean --algorithm {}?)".format(hint)
+                if hint in available_algorithms()
+                else "",
+            )
+        )
+    options = {}
+    if takes_pattern:
+        options["pattern"] = parse_pattern(args.pattern)
+    if "scoring" in parameters:
+        options["scoring"] = args.scoring
+    if args.answer_type is not None and "answer_type" in parameters:
+        options["answer_type"] = args.answer_type
+    builder = session.query(args.node).using(args.algorithm, **options)
+    if args.expand:
+        builder.expand_patterns(max_patterns=args.max_expand)
+    ranking = builder.rank(top_k=args.top)
+    patterns_used = builder.patterns_used if args.expand else None
+    if patterns_used:
+        print(
+            "{} over {} pattern{}:".format(
+                args.algorithm,
+                len(patterns_used),
+                "" if len(patterns_used) == 1 else "s",
+            ),
+            file=out,
+        )
+        for pattern in patterns_used:
+            print("  {}".format(pattern), file=out)
     for position, (node, score) in enumerate(ranking.items(), start=1):
         print("{:>3}. {:<30s} {:.6f}".format(position, node, score), file=out)
     if not len(ranking):
@@ -208,32 +270,42 @@ def _cmd_robustness(args, out):
     asymmetric = spec["answer_type"] != spec["query_type"]
     scoring = "cosine" if asymmetric else "pathsim"
     answer_type = spec["answer_type"] if asymmetric else None
+    # One session per variant: RelSim and PathSim on the same side share
+    # every commuting matrix they touch.
     experiment = RobustnessExperiment(
         database,
         variant,
         {
             "RelSim": (
-                lambda d: RelSim(
-                    d, p_src, scoring=scoring, answer_type=answer_type
+                lambda s: s.algorithm(
+                    "relsim", pattern=p_src, scoring=scoring,
+                    answer_type=answer_type,
                 ),
-                lambda d: RelSim(
-                    d, p_tgt, scoring=scoring, answer_type=answer_type
+                lambda s: s.algorithm(
+                    "relsim", pattern=p_tgt, scoring=scoring,
+                    answer_type=answer_type,
                 ),
             ),
             "PathSim": (
-                lambda d: PathSim(
-                    d, spec["pathsim_source"], answer_type=answer_type
+                lambda s: s.algorithm(
+                    "pathsim", pattern=spec["pathsim_source"],
+                    answer_type=answer_type,
                 ),
-                lambda d: PathSim(
-                    d, spec["pathsim_target"], answer_type=answer_type
+                lambda s: s.algorithm(
+                    "pathsim", pattern=spec["pathsim_target"],
+                    answer_type=answer_type,
                 ),
             ),
             "RWR": (
-                lambda d: RWR(d, answer_type=answer_type),
-                lambda d: RWR(d, answer_type=answer_type),
+                lambda s: s.algorithm("rwr", answer_type=answer_type),
+                lambda s: s.algorithm("rwr", answer_type=answer_type),
             ),
         },
         queries=queries,
+        sessions=(
+            SimilaritySession(database),
+            SimilaritySession(variant),
+        ),
         transformation_name=mapping.name,
     )
     print(robustness_table([experiment.run()]), file=out)

@@ -89,41 +89,52 @@ class RelSim(SimilarityAlgorithm):
         self.patterns = _as_patterns(patterns)
         self.scoring = scoring
         self.engine = engine or CommutingMatrixEngine(database)
-        self._column_norms = {}
 
     # ------------------------------------------------------------------
-    def _score_vector(self, pattern, query):
+    def _score_rows(self, pattern, queries):
+        """``(len(queries), n)`` score rows for one pattern.
+
+        All three scoring modes reduce to one sparse row slice of the
+        commuting matrix (``matrix[rows, :]``), so a batch of queries
+        costs a single slice per pattern.  Column norms for the cosine
+        mode live on the engine — every algorithm sharing the engine
+        (e.g. through a :class:`~repro.api.SimilaritySession`) reuses
+        them.
+        """
         if self.scoring == "pathsim":
-            return self.engine.pathsim_scores_from(pattern, query)
-        matrix = self.engine.matrix(pattern)
-        index = self.engine.indexer.index_of(query)
-        row = np.asarray(matrix[index, :].todense()).ravel()
+            return self.engine.pathsim_scores_from_many(pattern, queries)
+        rows = self.engine.rows_dense(pattern, queries)
         if self.scoring == "count":
-            return row
+            return rows
         # cosine
-        row_norm = np.linalg.norm(row)
-        if row_norm == 0:
-            return np.zeros_like(row)
-        norms = self._column_norms.get(pattern)
-        if norms is None:
-            squared = matrix.multiply(matrix).sum(axis=0)
-            norms = np.sqrt(np.asarray(squared).ravel())
-            self._column_norms[pattern] = norms
-        scores = np.zeros_like(row)
-        positive = norms > 0
-        scores[positive] = row[positive] / (row_norm * norms[positive])
+        norms = self.engine.column_norms(pattern)
+        row_norms = np.linalg.norm(rows, axis=1)
+        scores = np.zeros_like(rows)
+        defined = (row_norms[:, None] > 0) & (norms[None, :] > 0)
+        denominator = row_norms[:, None] * norms[None, :]
+        scores[defined] = rows[defined] / denominator[defined]
         return scores
 
     def scores(self, query):
-        indexer = self.engine.indexer
+        return self.scores_many([query])[query]
+
+    def scores_many(self, queries):
+        """Batch scores: one sparse row slice per pattern for all queries."""
+        queries = list(queries)
+        if not queries:
+            return {}
         total = None
         for pattern in self.patterns:
-            vector = self._score_vector(pattern, query)
-            total = vector if total is None else total + vector
+            rows = self._score_rows(pattern, queries)
+            total = rows if total is None else total + rows
+        indexer = self.engine.indexer
         return {
-            node: float(total[indexer.index_of(node)])
-            for node in self.candidates(query)
-            if node in indexer
+            query: {
+                node: float(total[i, indexer.index_of(node)])
+                for node in self.candidates(query)
+                if node in indexer
+            }
+            for i, query in enumerate(queries)
         }
 
     # ------------------------------------------------------------------

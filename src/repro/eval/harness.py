@@ -9,7 +9,14 @@
 
 Algorithms are supplied as *factories* ``factory(database) -> algorithm``
 because each variant needs its own engine/matrices (and, for the
-pattern-based methods, its own translated pattern).
+pattern-based methods, its own translated pattern).  Pass ``sessions``
+(one :class:`~repro.api.SimilaritySession` per variant) and the
+factories receive the session instead — every algorithm on a variant
+then shares that variant's materialized matrices, which is the hot-path
+saving: robustness runs stop rebuilding identical matrices per
+algorithm.  Query workloads are scored through the batch path
+(``rank_many``), one sparse row slice per pattern instead of one
+extraction per query.
 """
 
 import time
@@ -47,9 +54,14 @@ class RobustnessExperiment:
     algorithms:
         ``{name: (source_factory, target_factory)}`` — separate factories
         because pattern-based algorithms use the translated pattern on
-        the target side.
+        the target side.  Factories are called with the database — or,
+        when ``sessions`` is given, with the corresponding session, so
+        all algorithms on one side share an engine.
     queries:
         Query node ids (preserved by the transformation).
+    sessions:
+        Optional ``(source_session, target_session)`` pair of
+        :class:`~repro.api.SimilaritySession` objects.
     """
 
     def __init__(
@@ -60,6 +72,7 @@ class RobustnessExperiment:
         queries,
         top_ks=(5, 10),
         transformation_name="",
+        sessions=None,
     ):
         self.source_database = source_database
         self.transformed_database = transformed_database
@@ -71,22 +84,34 @@ class RobustnessExperiment:
         ]
         self.top_ks = tuple(top_ks)
         self.transformation_name = transformation_name
+        self.sessions = tuple(sessions) if sessions is not None else None
+        if self.sessions is not None and len(self.sessions) != 2:
+            raise ValueError(
+                "sessions must be a (source_session, target_session) pair"
+            )
 
     def run(self):
         taus = {}
         max_k = max(self.top_ks)
+        if self.sessions is not None:
+            source_target = self.sessions
+        else:
+            source_target = (self.source_database, self.transformed_database)
         for name, (source_factory, target_factory) in self.algorithms.items():
-            source_algorithm = source_factory(self.source_database)
-            target_algorithm = target_factory(self.transformed_database)
-            source_rankings = {}
-            target_rankings = {}
-            for query in self.queries:
-                source_rankings[query] = source_algorithm.rank(
-                    query, top_k=max_k
-                ).top()
-                target_rankings[query] = target_algorithm.rank(
-                    query, top_k=max_k
-                ).top()
+            source_algorithm = source_factory(source_target[0])
+            target_algorithm = target_factory(source_target[1])
+            source_rankings = {
+                query: ranking.top()
+                for query, ranking in source_algorithm.rank_many(
+                    self.queries, top_k=max_k
+                ).items()
+            }
+            target_rankings = {
+                query: ranking.top()
+                for query, ranking in target_algorithm.rank_many(
+                    self.queries, top_k=max_k
+                ).items()
+            }
             taus[name] = {
                 k: average_top_k_tau(source_rankings, target_rankings, k)
                 for k in self.top_ks
@@ -136,10 +161,16 @@ class EffectivenessExperiment:
                 if factory is None:
                     continue
                 algorithm = factory(database)
-                rankings = {
-                    query: algorithm.rank(query, top_k=self.top_k).top()
+                present = [
+                    query
                     for query in self.ground_truth
                     if database.has_node(query)
+                ]
+                rankings = {
+                    query: ranking.top()
+                    for query, ranking in algorithm.rank_many(
+                        present, top_k=self.top_k
+                    ).items()
                 }
                 mrrs[variant_name][algorithm_name] = mean_reciprocal_rank(
                     rankings, self.ground_truth
@@ -147,18 +178,30 @@ class EffectivenessExperiment:
         return EffectivenessResult(mrrs)
 
 
-def time_queries(algorithm, queries, repeat=1):
+def time_queries(algorithm, queries, repeat=1, top_k=10, batched=False):
     """Average seconds per query (the measure of Table 4 / Figure 5).
 
     The algorithm is constructed by the caller so that one-off setup cost
     (e.g. materialized matrices, SimRank's all-pairs solve) can be kept
     in or out of the measurement deliberately.
+
+    Parameters
+    ----------
+    top_k:
+        Ranking cutoff per query (the paper times top-10 retrieval).
+    batched:
+        When True, time the batch path (``rank_many`` over the whole
+        workload) instead of one ``rank`` call per query — the number
+        reported is still seconds *per query*.
     """
     if not queries:
         return 0.0
     started = time.perf_counter()
     for _ in range(repeat):
-        for query in queries:
-            algorithm.rank(query, top_k=10)
+        if batched:
+            algorithm.rank_many(queries, top_k=top_k)
+        else:
+            for query in queries:
+                algorithm.rank(query, top_k=top_k)
     elapsed = time.perf_counter() - started
     return elapsed / (repeat * len(queries))

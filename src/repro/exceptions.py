@@ -91,6 +91,14 @@ class EvaluationError(ReproError):
     """A similarity query could not be evaluated."""
 
 
+class RegistryError(ReproError):
+    """The algorithm registry rejected a lookup or registration.
+
+    Raised for unknown algorithm names and for duplicate registrations
+    (pass ``replace=True`` to overwrite deliberately).
+    """
+
+
 class AsymmetricPatternError(EvaluationError):
     """PathSim's formula needs patterns whose endpoints have the same type.
 

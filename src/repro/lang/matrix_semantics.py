@@ -18,6 +18,7 @@ PathSim scoring helper used by both PathSim and RelSim.
 """
 
 import itertools
+from collections import OrderedDict
 
 import numpy as np
 
@@ -51,17 +52,35 @@ class CommutingMatrixEngine:
     max_star_depth:
         Expansion bound for Kleene star counting; default is the node
         count.  Divergence raises :class:`StarDivergenceError`.
+    max_cached_matrices:
+        When set, bound the number of memoized commuting matrices (and
+        their derived column norms) with LRU eviction.  ``None`` (the
+        default) keeps every matrix, matching the paper's
+        "materialize and pre-load" setting; a session serving many
+        ad-hoc patterns caps memory with this knob.
     """
 
-    def __init__(self, database_or_view, max_star_depth=None):
+    def __init__(
+        self, database_or_view, max_star_depth=None, max_cached_matrices=None
+    ):
         if isinstance(database_or_view, MatrixView):
             self._view = database_or_view
         else:
             self._view = MatrixView(database_or_view)
         if max_star_depth is None:
             max_star_depth = max(self._view.num_nodes(), 1)
+        if max_cached_matrices is not None and max_cached_matrices < 1:
+            raise ValueError(
+                "max_cached_matrices must be >= 1 or None, got {}".format(
+                    max_cached_matrices
+                )
+            )
         self._max_star_depth = max_star_depth
-        self._cache = {}
+        self._max_cached = max_cached_matrices
+        self._cache = OrderedDict()
+        self._column_norms = OrderedDict()
+        self._hits = 0
+        self._misses = 0
 
     @property
     def view(self):
@@ -79,9 +98,42 @@ class CommutingMatrixEngine:
             )
         cached = self._cache.get(pattern)
         if cached is None:
+            self._misses += 1
             cached = self._compute(pattern)
             self._cache[pattern] = cached
+            self._evict()
+        else:
+            self._hits += 1
+            self._cache.move_to_end(pattern)
         return cached
+
+    def _evict(self):
+        if self._max_cached is None:
+            return
+        while len(self._cache) > self._max_cached:
+            evicted, _ = self._cache.popitem(last=False)
+            self._column_norms.pop(evicted, None)
+        while len(self._column_norms) > self._max_cached:
+            self._column_norms.popitem(last=False)
+
+    def column_norms(self, pattern):
+        """Euclidean norm of each column of ``M_pattern`` (cached).
+
+        Shared denominator of the cosine scoring mode; caching it here
+        (instead of per algorithm instance) lets every algorithm built on
+        the same engine — e.g. through one ``SimilaritySession`` — reuse
+        the vector.
+        """
+        norms = self._column_norms.get(pattern)
+        if norms is None:
+            matrix = self.matrix(pattern)
+            squared = matrix.multiply(matrix).sum(axis=0)
+            norms = np.sqrt(np.asarray(squared).ravel())
+            self._column_norms[pattern] = norms
+            self._evict()
+        else:
+            self._column_norms.move_to_end(pattern)
+        return norms
 
     def _compute(self, pattern):
         if isinstance(pattern, Epsilon):
@@ -157,6 +209,16 @@ class CommutingMatrixEngine:
     def cache_size(self):
         return len(self._cache)
 
+    def cache_info(self):
+        """``{"matrices", "column_norms", "hits", "misses", "max_cached"}``."""
+        return {
+            "matrices": len(self._cache),
+            "column_norms": len(self._column_norms),
+            "hits": self._hits,
+            "misses": self._misses,
+            "max_cached": self._max_cached,
+        }
+
     # ------------------------------------------------------------------
     # Scores
     # ------------------------------------------------------------------
@@ -183,12 +245,34 @@ class CommutingMatrixEngine:
         Vectorized version of :meth:`pathsim_score` used by the ranking
         algorithms: one sparse row extraction plus the diagonal.
         """
+        return self.pathsim_scores_from_many(pattern, [u])[0]
+
+    def rows_dense(self, pattern, nodes):
+        """``M_pattern[rows, :]`` as a dense ``(len(nodes), n)`` array.
+
+        The batch-query primitive: one sparse row slice replaces
+        per-query row extraction, so a workload of ``q`` queries costs a
+        single ``matrix[rows, :]`` per pattern.
+        """
         matrix = self.matrix(pattern)
-        iu = self.indexer.index_of(u)
-        row = np.asarray(matrix[iu, :].todense()).ravel()
+        indices = [self.indexer.index_of(node) for node in nodes]
+        return np.asarray(matrix[indices, :].todense())
+
+    def pathsim_scores_from_many(self, pattern, nodes):
+        """PathSim score rows for several queries at once.
+
+        Returns a dense ``(len(nodes), n)`` array whose row ``i`` equals
+        :meth:`pathsim_scores_from` for ``nodes[i]`` — computed from one
+        sparse row slice plus the diagonal instead of per-query
+        extraction.
+        """
+        matrix = self.matrix(pattern)
+        indices = [self.indexer.index_of(node) for node in nodes]
+        rows = np.asarray(matrix[indices, :].todense())
         diagonal = matrix.diagonal()
-        denominator = diagonal[iu] + diagonal
-        scores = np.zeros_like(row)
+        # denominator[i, v] = M(u_i, u_i) + M(v, v)
+        denominator = diagonal[indices][:, None] + diagonal[None, :]
+        scores = np.zeros_like(rows)
         positive = denominator > 0
-        scores[positive] = 2.0 * row[positive] / denominator[positive]
+        scores[positive] = 2.0 * rows[positive] / denominator[positive]
         return scores

@@ -10,7 +10,30 @@ Candidates default to nodes of the same type as the query (the paper
 ranks proceedings against proceedings, courses against courses) unless an
 ``answer_type`` is fixed at construction (diseases ranked against drugs
 in the BioMed study).
+
+Every algorithm accepts an injected ``engine``
+(:class:`~repro.lang.matrix_semantics.CommutingMatrixEngine`) so a
+:class:`~repro.api.SimilaritySession` can share one set of materialized
+matrices across all the algorithms it constructs; topology-based
+algorithms that only need adjacency matrices reuse the engine's
+:class:`~repro.graph.matrices.MatrixView`.
 """
+
+from repro.graph.matrices import MatrixView
+
+
+def resolve_view(database, view=None, engine=None):
+    """The :class:`MatrixView` an algorithm should compute on.
+
+    Preference order: an explicit ``view``, then the view of an injected
+    ``engine`` (so session-constructed algorithms share adjacency
+    matrices and node indexing), then a fresh view over ``database``.
+    """
+    if view is not None:
+        return view
+    if engine is not None:
+        return engine.view
+    return MatrixView(database)
 
 
 class Ranking:
@@ -25,6 +48,7 @@ class Ranking:
         self._items = sorted(
             scored_nodes, key=lambda item: (-item[1], str(item[0]))
         )
+        self._lookup = None
 
     def top(self, k=None):
         """The first ``k`` node ids (all of them when ``k`` is None)."""
@@ -35,18 +59,25 @@ class Ranking:
         """``(node, score)`` pairs, optionally truncated."""
         return list(self._items if k is None else self._items[:k])
 
+    def _positions(self):
+        # Built lazily on the first lookup: metric code calls
+        # score_of/position_of once per candidate, and a linear scan per
+        # call is quadratic over a workload.
+        if self._lookup is None:
+            self._lookup = {
+                node: (position, score)
+                for position, (node, score) in enumerate(self._items, start=1)
+            }
+        return self._lookup
+
     def score_of(self, node):
-        for candidate, score in self._items:
-            if candidate == node:
-                return score
-        return None
+        entry = self._positions().get(node)
+        return None if entry is None else entry[1]
 
     def position_of(self, node):
         """1-based rank of ``node``; ``None`` when absent."""
-        for position, (candidate, _) in enumerate(self._items, start=1):
-            if candidate == node:
-                return position
-        return None
+        entry = self._positions().get(node)
+        return None if entry is None else entry[0]
 
     def __len__(self):
         return len(self._items)
@@ -68,6 +99,13 @@ class SimilarityAlgorithm:
 
     #: Human-readable name used in experiment reports.
     name = "base"
+
+    #: Queries per ``scores_many`` call inside ``rank_many``.  Batch
+    #: implementations densify a (queries x nodes) block, so an
+    #: unchunked million-query workload would allocate workload-sized
+    #: dense arrays; per-row scores are independent, so chunking
+    #: changes nothing but peak memory.
+    batch_chunk_size = 512
 
     def __init__(self, database, answer_type=None):
         self._database = database
@@ -93,6 +131,29 @@ class SimilarityAlgorithm:
         """Mapping candidate -> similarity score.  Subclasses implement."""
         raise NotImplementedError
 
+    def scores_many(self, queries):
+        """``{query: {candidate: score}}`` for a batch of queries.
+
+        The default evaluates queries one at a time; matrix-backed
+        algorithms override this with a single sparse row slice per
+        pattern (``matrix[rows, :]``) so a workload costs one slice
+        instead of one extraction per query.  Overrides must produce
+        exactly the per-query scores — ``rank_many`` is contractually
+        identical to looped ``rank``.
+        """
+        return {query: self.scores(query) for query in queries}
+
+    def _as_ranking(self, scored_mapping, top_k):
+        scored = [
+            (node, score)
+            for node, score in scored_mapping.items()
+            if score > 0
+        ]
+        ranking = Ranking(scored)
+        if top_k is None:
+            return ranking
+        return Ranking(ranking.items(top_k))
+
     def rank(self, query, top_k=None):
         """Ranked answers for ``query``.
 
@@ -101,12 +162,20 @@ class SimilarityAlgorithm:
         0"), and dropping them keeps ranked lists comparable across
         structural variants whose isolated-node sets differ.
         """
-        scored = [
-            (node, score)
-            for node, score in self.scores(query).items()
-            if score > 0
-        ]
-        ranking = Ranking(scored)
-        if top_k is None:
-            return ranking
-        return Ranking(ranking.items(top_k))
+        return self._as_ranking(self.scores(query), top_k)
+
+    def rank_many(self, queries, top_k=None):
+        """``{query: Ranking}`` for a batch, via :meth:`scores_many`.
+
+        Queries are fed to :meth:`scores_many` in chunks of
+        :attr:`batch_chunk_size` so the vectorized implementations keep
+        bounded peak memory on arbitrarily large workloads.
+        """
+        queries = list(queries)
+        size = max(int(self.batch_chunk_size), 1)
+        rankings = {}
+        for start in range(0, len(queries), size):
+            chunk = queries[start:start + size]
+            for query, scored in self.scores_many(chunk).items():
+                rankings[query] = self._as_ranking(scored, top_k)
+        return rankings

@@ -23,10 +23,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import EvaluationError
-from repro.graph.matrices import MatrixView, row_normalize
+from repro.graph.matrices import row_normalize
 from repro.lang.ast import Pattern, simple_steps
 from repro.lang.parser import parse_pattern
-from repro.similarity.base import SimilarityAlgorithm
+from repro.similarity.base import SimilarityAlgorithm, resolve_view
 
 
 def _step_matrix(view, name, reversed_):
@@ -67,7 +67,9 @@ class HeteSim(SimilarityAlgorithm):
 
     name = "HeteSim"
 
-    def __init__(self, database, pattern, answer_type=None, view=None):
+    def __init__(
+        self, database, pattern, answer_type=None, view=None, engine=None
+    ):
         super().__init__(database, answer_type=answer_type)
         if isinstance(pattern, str):
             pattern = parse_pattern(pattern)
@@ -82,8 +84,9 @@ class HeteSim(SimilarityAlgorithm):
         if not steps:
             raise EvaluationError("HeteSim needs a non-empty meta-path")
         self.pattern = pattern
-        self._view = view or MatrixView(database)
+        self._view = resolve_view(database, view=view, engine=engine)
         self._left, self._right = self._build_halves(steps)
+        self._target_norms = None
 
     def _build_halves(self, steps):
         matrices = [
@@ -104,26 +107,52 @@ class HeteSim(SimilarityAlgorithm):
             right = (right @ row_normalize(matrix.T.tocsr())).tocsr()
         return left, right
 
+    def _norms_of_right(self):
+        if self._target_norms is None:
+            squared = self._right.multiply(self._right).sum(axis=1)
+            self._target_norms = np.sqrt(np.asarray(squared).ravel())
+        return self._target_norms
+
     def scores(self, query):
+        return self.scores_many([query])[query]
+
+    def scores_many(self, queries):
+        """Batch scores via one left-row slice and one sparse product.
+
+        ``score(q, v) = (L[q] . R[v]) / (|L[q]| |R[v]|)`` for all queries
+        and candidates at once: ``L[rows, :] @ R^T`` replaces the
+        per-candidate dot products, and the target norms are computed
+        once per instance.  ``scores`` delegates here with a single-row
+        slice, so batched and per-query results are identical by
+        construction.
+        """
+        queries = list(queries)
+        if not queries:
+            return {}
         indexer = self._view.indexer
-        source_row = np.asarray(
-            self._left[indexer.index_of(query), :].todense()
-        ).ravel()
-        source_norm = np.linalg.norm(source_row)
+        indices = [indexer.index_of(query) for query in queries]
+        left_rows = self._left[indices, :].tocsr()
+        squared = left_rows.multiply(left_rows).sum(axis=1)
+        source_norms = np.sqrt(np.asarray(squared).ravel())
+        products = np.asarray((left_rows @ self._right.T).todense())
+        target_norms = self._norms_of_right()
         results = {}
-        if source_norm == 0:
-            return {node: 0.0 for node in self.candidates(query)}
-        for node in self.candidates(query):
-            if node not in indexer:
+        for i, query in enumerate(queries):
+            if source_norms[i] == 0:
+                results[query] = {
+                    node: 0.0 for node in self.candidates(query)
+                }
                 continue
-            target_row = np.asarray(
-                self._right[indexer.index_of(node), :].todense()
-            ).ravel()
-            target_norm = np.linalg.norm(target_row)
-            if target_norm == 0:
-                results[node] = 0.0
-            else:
-                results[node] = float(
-                    source_row @ target_row / (source_norm * target_norm)
-                )
+            scored = {}
+            for node in self.candidates(query):
+                if node not in indexer:
+                    continue
+                j = indexer.index_of(node)
+                if target_norms[j] == 0:
+                    scored[node] = 0.0
+                else:
+                    scored[node] = float(
+                        products[i, j] / (source_norms[i] * target_norms[j])
+                    )
+            results[query] = scored
         return results

@@ -11,8 +11,8 @@ baselines for the robustness experiments.
 import numpy as np
 
 from repro.exceptions import EvaluationError
-from repro.graph.matrices import MatrixView, boolean
-from repro.similarity.base import SimilarityAlgorithm
+from repro.graph.matrices import boolean
+from repro.similarity.base import SimilarityAlgorithm, resolve_view
 
 
 class CommonNeighbors(SimilarityAlgorithm):
@@ -25,9 +25,9 @@ class CommonNeighbors(SimilarityAlgorithm):
 
     name = "CommonNeighbors"
 
-    def __init__(self, database, answer_type=None, view=None):
+    def __init__(self, database, answer_type=None, view=None, engine=None):
         super().__init__(database, answer_type=answer_type)
-        self._view = view or MatrixView(database)
+        self._view = resolve_view(database, view=view, engine=engine)
         self._boolean = boolean(
             self._view.combined_adjacency(symmetric=True)
         )
@@ -40,6 +40,30 @@ class CommonNeighbors(SimilarityAlgorithm):
             node: float(counts[indexer.index_of(node)])
             for node in self.candidates(query)
             if node in indexer
+        }
+
+    def scores_many(self, queries):
+        """Batch scores: one sparse slice-and-multiply for all queries.
+
+        CSR matmul builds each output row from that row's nonzeros
+        alone, so row ``i`` of ``B[rows, :] @ B`` is exactly the
+        single-query product — the batch is a pure speedup.
+        """
+        queries = list(queries)
+        if not queries:
+            return {}
+        indexer = self._view.indexer
+        indices = [indexer.index_of(query) for query in queries]
+        counts = np.asarray(
+            (self._boolean[indices, :] @ self._boolean).todense()
+        )
+        return {
+            query: {
+                node: float(counts[i, indexer.index_of(node)])
+                for node in self.candidates(query)
+                if node in indexer
+            }
+            for i, query in enumerate(queries)
         }
 
 
@@ -63,11 +87,12 @@ class Katz(SimilarityAlgorithm):
         tolerance=1e-10,
         answer_type=None,
         view=None,
+        engine=None,
     ):
         super().__init__(database, answer_type=answer_type)
         if beta <= 0:
             raise EvaluationError("beta must be positive, got {}".format(beta))
-        self._view = view or MatrixView(database)
+        self._view = resolve_view(database, view=view, engine=engine)
         adjacency = self._view.combined_adjacency(symmetric=True)
         max_degree = (
             adjacency.sum(axis=1).max() if adjacency.nnz else 0.0

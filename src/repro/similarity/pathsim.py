@@ -85,3 +85,19 @@ class PathSim(SimilarityAlgorithm):
             for node in self.candidates(query)
             if node in indexer
         }
+
+    def scores_many(self, queries):
+        """Batch scores from one sparse row slice of the commuting matrix."""
+        queries = list(queries)
+        if not queries:
+            return {}
+        rows = self.engine.pathsim_scores_from_many(self.pattern, queries)
+        indexer = self.engine.indexer
+        return {
+            query: {
+                node: float(rows[i, indexer.index_of(node)])
+                for node in self.candidates(query)
+                if node in indexer
+            }
+            for i, query in enumerate(queries)
+        }

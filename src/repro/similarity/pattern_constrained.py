@@ -112,3 +112,17 @@ class PatternSimRank(SimilarityAlgorithm):
             for node in self.candidates(query)
             if node in indexer
         }
+
+    def scores_many(self, queries):
+        """Batch scores from one slice of the precomputed dense matrix."""
+        queries = list(queries)
+        indexer = self.engine.indexer
+        rows = self._scores[[indexer.index_of(q) for q in queries], :]
+        return {
+            query: {
+                node: float(rows[i, indexer.index_of(node)])
+                for node in self.candidates(query)
+                if node in indexer
+            }
+            for i, query in enumerate(queries)
+        }

@@ -16,8 +16,8 @@ pattern-constrained extension is in
 import numpy as np
 
 from repro.exceptions import EvaluationError
-from repro.graph.matrices import MatrixView, row_normalize
-from repro.similarity.base import SimilarityAlgorithm
+from repro.graph.matrices import row_normalize
+from repro.similarity.base import SimilarityAlgorithm, resolve_view
 
 
 def rwr_vector(walk_matrix, start_index, restart=0.8, tolerance=1e-10,
@@ -55,6 +55,9 @@ class RWR(SimilarityAlgorithm):
     symmetric:
         Walk edges in both directions (default True, the usual convention
         for similarity over heterogeneous graphs).
+    engine:
+        Optional shared :class:`CommutingMatrixEngine`; its matrix view
+        (adjacency matrices + node indexing) is reused.
     """
 
     name = "RWR"
@@ -66,6 +69,7 @@ class RWR(SimilarityAlgorithm):
         symmetric=True,
         answer_type=None,
         view=None,
+        engine=None,
         max_iterations=200,
     ):
         super().__init__(database, answer_type=answer_type)
@@ -74,7 +78,7 @@ class RWR(SimilarityAlgorithm):
                 "restart probability must be in (0, 1), got {}".format(restart)
             )
         self.restart = restart
-        self._view = view or MatrixView(database)
+        self._view = resolve_view(database, view=view, engine=engine)
         adjacency = self._view.combined_adjacency(symmetric=symmetric)
         self._walk = row_normalize(adjacency)
         self._max_iterations = max_iterations

@@ -18,8 +18,8 @@ SimRank ... over DBLP and BioMed"); we guard with ``max_nodes``.
 import numpy as np
 
 from repro.exceptions import EvaluationError
-from repro.graph.matrices import MatrixView, column_normalize
-from repro.similarity.base import SimilarityAlgorithm
+from repro.graph.matrices import column_normalize
+from repro.similarity.base import SimilarityAlgorithm, resolve_view
 
 
 def simrank_matrix(
@@ -62,6 +62,9 @@ class SimRank(SimilarityAlgorithm):
     max_nodes:
         Guard against accidentally asking for a dense n x n matrix on a
         large graph.
+    engine:
+        Optional shared :class:`CommutingMatrixEngine`; its matrix view
+        (adjacency matrices + node indexing) is reused.
     """
 
     name = "SimRank"
@@ -74,6 +77,7 @@ class SimRank(SimilarityAlgorithm):
         symmetric=True,
         answer_type=None,
         view=None,
+        engine=None,
         max_nodes=5000,
     ):
         super().__init__(database, answer_type=answer_type)
@@ -81,7 +85,7 @@ class SimRank(SimilarityAlgorithm):
             raise EvaluationError(
                 "damping factor must be in (0, 1), got {}".format(damping)
             )
-        self._view = view or MatrixView(database)
+        self._view = resolve_view(database, view=view, engine=engine)
         n = self._view.num_nodes()
         if n > max_nodes:
             raise EvaluationError(
@@ -100,4 +104,18 @@ class SimRank(SimilarityAlgorithm):
             node: float(row[indexer.index_of(node)])
             for node in self.candidates(query)
             if node in indexer
+        }
+
+    def scores_many(self, queries):
+        """Batch scores from one slice of the precomputed dense matrix."""
+        queries = list(queries)
+        indexer = self._view.indexer
+        rows = self._scores[[indexer.index_of(q) for q in queries], :]
+        return {
+            query: {
+                node: float(rows[i, indexer.index_of(node)])
+                for node in self.candidates(query)
+                if node in indexer
+            }
+            for i, query in enumerate(queries)
         }

@@ -79,6 +79,90 @@ def test_query(dblp_json):
     assert "proc:" in output
 
 
+def test_query_with_algorithm_flag(dblp_json):
+    code, output = run_cli(
+        [
+            "query",
+            dblp_json,
+            "--algorithm",
+            "rwr",
+            "--node",
+            "proc:0",
+            "--top",
+            "5",
+        ]
+    )
+    assert code == 0
+    assert "proc:" in output
+
+
+def test_query_pattern_algorithm_requires_pattern(dblp_json):
+    code, _ = run_cli(
+        ["query", dblp_json, "--algorithm", "pathsim", "--node", "proc:0"]
+    )
+    assert code == 2
+
+
+def test_query_rejects_pattern_for_topology_algorithm(dblp_json):
+    # A supplied --pattern must never be silently ignored.
+    code, _ = run_cli(
+        [
+            "query",
+            dblp_json,
+            "--algorithm",
+            "rwr",
+            "--pattern",
+            "r-a-.r-a",
+            "--node",
+            "proc:0",
+        ]
+    )
+    assert code == 2
+
+
+def test_query_expand_prints_patterns_used(dblp_json):
+    code, output = run_cli(
+        [
+            "query",
+            dblp_json,
+            "--pattern",
+            "p-in.p-in-",
+            "--node",
+            "paper:0",
+            "--expand",
+            "--max-expand",
+            "8",
+            "--top",
+            "3",
+        ]
+    )
+    assert code == 0
+    assert "relsim over" in output
+    assert "p-in.p-in-" in output
+
+
+def test_query_expand_rejects_topology_algorithm(dblp_json):
+    code, _ = run_cli(
+        [
+            "query",
+            dblp_json,
+            "--algorithm",
+            "rwr",
+            "--node",
+            "proc:0",
+            "--expand",
+        ]
+    )
+    assert code == 2
+
+
+def test_query_unknown_algorithm_rejected(dblp_json):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["query", dblp_json, "--algorithm", "nope", "--node", "x"]
+        )
+
+
 def test_query_bad_pattern(dblp_json):
     code, _ = run_cli(
         ["query", dblp_json, "--pattern", "((", "--node", "proc:0"]

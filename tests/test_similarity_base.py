@@ -38,6 +38,28 @@ def test_ranking_iteration_and_len():
     assert len(ranking) == 1
 
 
+def test_ranking_lookup_built_lazily_and_consistent():
+    ranking = Ranking([("n{}".format(i), float(i)) for i in range(50)])
+    # The node -> (position, score) index appears on first lookup only.
+    assert ranking._lookup is None
+    assert ranking.position_of("n49") == 1
+    assert ranking._lookup is not None
+    # Every lookup agrees with a linear scan of items().
+    for position, (node, score) in enumerate(ranking.items(), start=1):
+        assert ranking.position_of(node) == position
+        assert ranking.score_of(node) == score
+    assert ranking.position_of("absent") is None
+    assert ranking.score_of("absent") is None
+
+
+def test_rank_many_default_matches_rank(typed_db):
+    algorithm = ConstantAlgorithm(typed_db)
+    batch = algorithm.rank_many(["p1", "p2"], top_k=1)
+    assert set(batch) == {"p1", "p2"}
+    for query in ("p1", "p2"):
+        assert batch[query].items() == algorithm.rank(query, top_k=1).items()
+
+
 class ConstantAlgorithm(SimilarityAlgorithm):
     """Scores every candidate 1.0; used to test the base-class plumbing."""
 
