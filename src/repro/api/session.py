@@ -23,7 +23,8 @@ Three levels of API, lowest to highest::
         .top(10)
     )
 
-    # 3. batch path: all queries scored in one sparse row slice
+    # 3. batch path: all queries scored in one sparse row slice,
+    #    ranked with array-native top-k selection (score_rows)
     rankings = session.rank_many(queries, algorithm="relsim",
                                  pattern="p-in.p-in-", top_k=10)
 """
@@ -162,8 +163,11 @@ class SimilaritySession:
         ``algorithm`` is a registry name (constructed with the shared
         engine and ``options``) or an already-built
         :class:`SimilarityAlgorithm` instance.  Matrix-backed algorithms
-        score all queries from one sparse row slice per pattern; results
-        are identical to looping ``algorithm.rank(q, top_k)``.
+        score all queries from one sparse row slice per pattern
+        (``score_rows``) and rank through array-native top-k selection —
+        only the ``top_k`` winners are materialized as ``(node, score)``
+        pairs.  Results are identical to looping
+        ``algorithm.rank(q, top_k)``.
         """
         if isinstance(algorithm, SimilarityAlgorithm):
             if options:
@@ -284,5 +288,10 @@ class QueryBuilder:
         return self.build().rank(self._node, top_k=top_k)
 
     def top(self, k=10):
-        """The top-``k`` :class:`Ranking` — the usual way to finish."""
+        """The top-``k`` :class:`Ranking` — the usual way to finish.
+
+        Array-native algorithms serve this through ``score_rows`` +
+        ``np.argpartition`` selection, so only ``k`` ``(node, score)``
+        pairs are ever materialized.
+        """
         return self.rank(top_k=k)

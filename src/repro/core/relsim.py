@@ -89,9 +89,10 @@ class RelSim(SimilarityAlgorithm):
         self.patterns = _as_patterns(patterns)
         self.scoring = scoring
         self.engine = engine or CommutingMatrixEngine(database)
+        self._view = self.engine.view
 
     # ------------------------------------------------------------------
-    def _score_rows(self, pattern, queries):
+    def _pattern_rows(self, pattern, queries):
         """``(len(queries), n)`` score rows for one pattern.
 
         All three scoring modes reduce to one sparse row slice of the
@@ -115,27 +116,17 @@ class RelSim(SimilarityAlgorithm):
         scores[defined] = rows[defined] / denominator[defined]
         return scores
 
-    def scores(self, query):
-        return self.scores_many([query])[query]
-
-    def scores_many(self, queries):
-        """Batch scores: one sparse row slice per pattern for all queries."""
+    def score_rows(self, queries):
+        """Batch score rows: one sparse row slice per pattern, summed."""
         queries = list(queries)
-        if not queries:
-            return {}
-        total = None
-        for pattern in self.patterns:
-            rows = self._score_rows(pattern, queries)
-            total = rows if total is None else total + rows
         indexer = self.engine.indexer
-        return {
-            query: {
-                node: float(total[i, indexer.index_of(node)])
-                for node in self.candidates(query)
-                if node in indexer
-            }
-            for i, query in enumerate(queries)
-        }
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
+        )
+        total = np.zeros((len(queries), len(indexer)))
+        for pattern in self.patterns:
+            total += self._pattern_rows(pattern, queries)
+        return indices, total
 
     # ------------------------------------------------------------------
     @classmethod

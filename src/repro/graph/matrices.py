@@ -68,6 +68,8 @@ class MatrixView:
         self._database = database
         self._indexer = indexer or NodeIndexer(database.nodes())
         self._cache = {}
+        self._candidates = {}
+        self._candidate_node_count = database.num_nodes()
 
     @property
     def indexer(self):
@@ -100,6 +102,46 @@ class MatrixView:
         )
         matrix.sum_duplicates()
         return matrix
+
+    def candidate_index(self, node_type=None):
+        """Cached ``(nodes, columns)`` answer-candidate arrays for a type.
+
+        ``nodes`` lists the eligible answer nodes sorted by ``str`` (the
+        :class:`~repro.similarity.base.Ranking` tie-break order) and
+        ``columns`` holds their indexer positions as one ``intp`` array,
+        so candidate filtering in the array-native scoring path is a
+        single fancy-index slice instead of a per-node dict loop.
+        ``node_type`` is the resolved answer type of a query — ``None``
+        means every node (untyped queries).
+
+        A node of the requested type that is missing from the indexer
+        raises :class:`~repro.exceptions.UnknownNodeError`: scoring a
+        candidate the snapshot does not cover is an error, not a zero
+        score.  The cache revalidates against the database's node count
+        on every call, so a node added after the view was built raises
+        the same error whether or not the index was already warm (no
+        silently stale candidate list).  Other mutations — edge changes,
+        retyping an existing node — follow the view's general snapshot
+        rule: build a fresh view after mutating.
+        """
+        if self._database.num_nodes() != self._candidate_node_count:
+            self._candidates.clear()
+            self._candidate_node_count = self._database.num_nodes()
+        key = ("type", node_type) if node_type is not None else ("all",)
+        cached = self._candidates.get(key)
+        if cached is None:
+            if node_type is None:
+                eligible = list(self._database.nodes())
+            else:
+                eligible = self._database.nodes_of_type(node_type)
+            eligible.sort(key=str)
+            columns = np.array(
+                [self._indexer.index_of(node) for node in eligible],
+                dtype=np.intp,
+            )
+            cached = (eligible, columns)
+            self._candidates[key] = cached
+        return cached
 
     def identity(self):
         """The identity matrix (the ``epsilon`` pattern's matrix)."""

@@ -22,7 +22,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.exceptions import StarDivergenceError
+from repro.exceptions import EvaluationError, StarDivergenceError
 from repro.graph.matrices import MatrixView, boolean, diagonal_of
 from repro.lang.ast import (
     Concat,
@@ -133,6 +133,11 @@ class CommutingMatrixEngine:
             self._evict()
         else:
             self._column_norms.move_to_end(pattern)
+            # A norms hit is a use of the pattern's matrix too: refresh
+            # its LRU slot so a hot pattern's matrix is not evicted out
+            # from under its surviving norms.
+            if pattern in self._cache:
+                self._cache.move_to_end(pattern)
         return norms
 
     def _compute(self, pattern):
@@ -196,11 +201,31 @@ class CommutingMatrixEngine:
         Mirrors the experimental setting of Section 7.3: "commuting
         matrices of all meta-paths up to size 3 are materialized and
         pre-loaded".  Returns the number of matrices now cached.
+
+        Raises :class:`~repro.exceptions.EvaluationError` when the
+        requested pattern set does not fit under
+        ``max_cached_matrices`` — materialization under a too-small cap
+        would evict each matrix as the next is built.
         """
         if labels is None:
             labels = sorted(self._view.database.used_labels())
         steps = [(name, False) for name in labels]
         steps += [(name, True) for name in labels]
+        if self._max_cached is not None:
+            total = sum(
+                len(steps) ** length for length in range(1, max_length + 1)
+            )
+            if total > self._max_cached:
+                # Materializing past the cap would silently thrash the
+                # LRU (each new matrix evicting the last) and return a
+                # capped, misleading count.
+                raise EvaluationError(
+                    "materializing {} simple patterns (labels={}, "
+                    "max_length={}) exceeds max_cached_matrices={}; raise "
+                    "the cap or materialize fewer patterns".format(
+                        total, sorted(labels), max_length, self._max_cached
+                    )
+                )
         for length in range(1, max_length + 1):
             for combo in itertools.product(steps, repeat=length):
                 self.matrix(simple_pattern(list(combo)))

@@ -17,7 +17,29 @@ Every algorithm accepts an injected ``engine``
 matrices across all the algorithms it constructs; topology-based
 algorithms that only need adjacency matrices reuse the engine's
 :class:`~repro.graph.matrices.MatrixView`.
+
+Array-native scoring
+--------------------
+Matrix-backed algorithms additionally implement :meth:`score_rows`,
+which returns raw score *rows* (one dense vector of scores over the node
+indexer per query) instead of per-candidate dicts.  ``rank`` and
+``rank_many`` then stay inside NumPy end-to-end: candidate filtering is
+one fancy-index slice over the view's cached per-type candidate index
+(:meth:`~repro.graph.matrices.MatrixView.candidate_index`), and top-k
+selection uses ``np.argpartition``-style selection so only the ``k``
+winners are ever materialized as ``(node, score)`` pairs.  The dict
+APIs (``scores``/``scores_many``) become thin adapters over
+:meth:`score_rows` and remain contractually identical; the previous
+dict-based ranking path is kept as :meth:`rank_many_via_scores` for
+equivalence testing and benchmarking.
+
+Candidates absent from the algorithm's snapshot indexer raise
+:class:`~repro.exceptions.UnknownNodeError` uniformly — scoring a node
+the snapshot does not cover is an error, not a zero score.  (Open a new
+session/view after mutating the database.)
 """
+
+import numpy as np
 
 from repro.graph.matrices import MatrixView
 
@@ -49,6 +71,17 @@ class Ranking:
             scored_nodes, key=lambda item: (-item[1], str(item[0]))
         )
         self._lookup = None
+
+    @classmethod
+    def from_arrays(cls, nodes, scores):
+        """Ranking from parallel node/score sequences (array-native path).
+
+        Skips the intermediate per-candidate dict: callers pass the
+        already-selected winners (typically the ``argpartition`` top-k),
+        so the deterministic ``(-score, str(node))`` sort touches only
+        ``k`` items instead of the full candidate set.
+        """
+        return cls(zip(nodes, (float(score) for score in scores)))
 
     def top(self, k=None):
         """The first ``k`` node ids (all of them when ``k`` is None)."""
@@ -100,23 +133,35 @@ class SimilarityAlgorithm:
     #: Human-readable name used in experiment reports.
     name = "base"
 
-    #: Queries per ``scores_many`` call inside ``rank_many``.  Batch
-    #: implementations densify a (queries x nodes) block, so an
-    #: unchunked million-query workload would allocate workload-sized
-    #: dense arrays; per-row scores are independent, so chunking
-    #: changes nothing but peak memory.
+    #: Queries per ``score_rows``/``scores_many`` call inside
+    #: ``rank_many``.  Batch implementations densify a
+    #: (queries x nodes) block, so an unchunked million-query workload
+    #: would allocate workload-sized dense arrays; per-row scores are
+    #: independent, so chunking changes nothing but peak memory.
     batch_chunk_size = 512
 
     def __init__(self, database, answer_type=None):
         self._database = database
         self._answer_type = answer_type
+        #: The MatrixView backing :meth:`score_rows`; array-native
+        #: subclasses assign it at construction.
+        self._view = None
 
     @property
     def database(self):
         return self._database
 
     def candidates(self, query):
-        """Nodes eligible as answers for ``query`` (never the query)."""
+        """Nodes eligible as answers for ``query`` (never the query).
+
+        Candidates are read from the *live* database; scoring them goes
+        through the algorithm's snapshot indexer, and a candidate the
+        snapshot does not cover raises
+        :class:`~repro.exceptions.UnknownNodeError` — uniformly across
+        all algorithms (no algorithm silently skips it).  Mutating the
+        database after constructing an algorithm is the only way to get
+        into that state; open a fresh session/view instead.
+        """
         if self._answer_type is not None:
             nodes = self._database.nodes_of_type(self._answer_type)
         else:
@@ -127,22 +172,83 @@ class SimilarityAlgorithm:
                 nodes = self._database.nodes_of_type(query_type)
         return [node for node in nodes if node != query]
 
+    # ------------------------------------------------------------------
+    # Array-native primitive
+    # ------------------------------------------------------------------
+    def score_rows(self, queries):
+        """Batch scores as ``(query_indices, rows)`` over the node indexer.
+
+        ``rows`` is a dense ``(len(queries), n)`` float array in which
+        column ``j`` scores node ``indexer.node_at(j)``; row ``i``
+        corresponds to ``queries[i]`` and ``query_indices[i]`` is that
+        query's indexer position (used to mask the query out of its own
+        candidate row).  Rows cover *all* nodes — candidate filtering
+        happens in :meth:`rank_many` via the view's cached candidate
+        index, so implementations stay a pure matrix slice.
+
+        Matrix-backed algorithms implement this; algorithms without a
+        vectorizable representation leave it unimplemented and the
+        ranking methods fall back to the per-query dict path via
+        :meth:`scores`.
+        """
+        raise NotImplementedError(
+            "{} does not implement array-native scoring".format(
+                type(self).__name__
+            )
+        )
+
+    def _array_native(self):
+        return type(self).score_rows is not SimilarityAlgorithm.score_rows
+
+    def _candidate_arrays(self, query):
+        """The cached ``(nodes, columns)`` candidate index for ``query``."""
+        answer_type = self._answer_type
+        if answer_type is None:
+            answer_type = self._database.node_type(query)
+        return self._view.candidate_index(answer_type)
+
+    # ------------------------------------------------------------------
+    # Dict APIs (thin adapters over score_rows when available)
+    # ------------------------------------------------------------------
     def scores(self, query):
-        """Mapping candidate -> similarity score.  Subclasses implement."""
+        """Mapping candidate -> similarity score.
+
+        Array-native algorithms inherit this adapter over
+        :meth:`score_rows`; others implement it directly.
+        """
+        if self._array_native():
+            return self.scores_many([query])[query]
         raise NotImplementedError
 
     def scores_many(self, queries):
         """``{query: {candidate: score}}`` for a batch of queries.
 
-        The default evaluates queries one at a time; matrix-backed
-        algorithms override this with a single sparse row slice per
-        pattern (``matrix[rows, :]``) so a workload costs one slice
-        instead of one extraction per query.  Overrides must produce
-        exactly the per-query scores — ``rank_many`` is contractually
-        identical to looped ``rank``.
+        For array-native algorithms this is a thin adapter over
+        :meth:`score_rows` — one matrix slice for the whole batch, then
+        per-candidate dicts.  The default otherwise evaluates queries
+        one at a time via :meth:`scores`.  Either way the result is
+        contractually identical to per-query ``scores``.
         """
-        return {query: self.scores(query) for query in queries}
+        queries = list(queries)
+        if not queries:
+            return {}
+        if not self._array_native():
+            return {query: self.scores(query) for query in queries}
+        indices, rows = self.score_rows(queries)
+        results = {}
+        for i, query in enumerate(queries):
+            nodes, columns = self._candidate_arrays(query)
+            row = rows[i]
+            results[query] = {
+                node: float(row[column])
+                for node, column in zip(nodes, columns)
+                if column != indices[i]
+            }
+        return results
 
+    # ------------------------------------------------------------------
+    # Ranking
+    # ------------------------------------------------------------------
     def _as_ranking(self, scored_mapping, top_k):
         scored = [
             (node, score)
@@ -154,6 +260,37 @@ class SimilarityAlgorithm:
             return ranking
         return Ranking(ranking.items(top_k))
 
+    def _ranking_from_row(self, query, row, query_index, top_k):
+        """Array-native top-k: select winners before materializing pairs.
+
+        Zero-score candidates are dropped (same contract as the dict
+        path) and the query is masked out of its own row.  With a
+        ``top_k``, an ``np.partition`` of the candidate scores finds the
+        boundary value; everything strictly above it is in, and ties at
+        the boundary are filled in ascending ``str(node)`` order — the
+        candidate index is pre-sorted by ``str``, so this reproduces the
+        dict path's deterministic tie-break exactly.
+        """
+        nodes, columns = self._candidate_arrays(query)
+        scores = row[columns]
+        valid = (scores > 0) & (columns != query_index)
+        positions = np.flatnonzero(valid)
+        if top_k is not None and top_k <= 0:
+            positions = positions[:0]
+        elif top_k is not None and len(positions) > top_k:
+            candidate_scores = scores[positions]
+            boundary = np.partition(
+                candidate_scores, len(positions) - top_k
+            )[len(positions) - top_k]
+            above = positions[candidate_scores > boundary]
+            at_boundary = positions[candidate_scores == boundary]
+            positions = np.concatenate(
+                (above, at_boundary[: top_k - len(above)])
+            )
+        return Ranking.from_arrays(
+            [nodes[position] for position in positions], scores[positions]
+        )
+
     def rank(self, query, top_k=None):
         """Ranked answers for ``query``.
 
@@ -162,14 +299,48 @@ class SimilarityAlgorithm:
         0"), and dropping them keeps ranked lists comparable across
         structural variants whose isolated-node sets differ.
         """
+        if self._array_native():
+            return self.rank_many([query], top_k=top_k)[query]
         return self._as_ranking(self.scores(query), top_k)
 
     def rank_many(self, queries, top_k=None):
-        """``{query: Ranking}`` for a batch, via :meth:`scores_many`.
+        """``{query: Ranking}`` for a batch of queries.
 
-        Queries are fed to :meth:`scores_many` in chunks of
-        :attr:`batch_chunk_size` so the vectorized implementations keep
-        bounded peak memory on arbitrarily large workloads.
+        Array-native algorithms score each chunk with one
+        :meth:`score_rows` call and finish with vectorized top-k
+        selection; the rest go through :meth:`rank_many_via_scores`.
+        Queries are processed in chunks of :attr:`batch_chunk_size` so
+        the vectorized implementations keep bounded peak memory on
+        arbitrarily large workloads.  Results are contractually
+        identical to looping :meth:`rank`.
+        """
+        queries = list(queries)
+        if not self._array_native():
+            return self.rank_many_via_scores(queries, top_k=top_k)
+        size = max(int(self.batch_chunk_size), 1)
+        rankings = {}
+        for start in range(0, len(queries), size):
+            chunk = queries[start:start + size]
+            indices, rows = self.score_rows(chunk)
+            for i, query in enumerate(chunk):
+                rankings[query] = self._ranking_from_row(
+                    query, rows[i], indices[i], top_k
+                )
+        return rankings
+
+    def rank_many_via_scores(self, queries, top_k=None):
+        """``{query: Ranking}`` through the per-candidate dict path.
+
+        The pre-array *ranking* implementation: build the full
+        ``{candidate: score}`` dict per query, then sort the whole
+        candidate list.  Raw scores still come from :meth:`scores_many`
+        (hence :meth:`score_rows` where available) — what this measures
+        and cross-checks against :meth:`rank_many` is everything
+        downstream of scoring: dict materialization, zero filtering,
+        sorting, truncation.  Score *values* are validated separately by
+        the per-algorithm behavior tests.  Kept public as the reference
+        for equivalence tests and as the baseline the efficiency
+        benchmark compares the array-native path against.
         """
         queries = list(queries)
         size = max(int(self.batch_chunk_size), 1)

@@ -38,17 +38,29 @@ def _edge_decomposition(matrix):
     """Split ``matrix`` into ``(out, in)`` through one node per edge.
 
     ``out`` is ``n x e`` and ``in`` is ``e x m`` with
-    ``out @ in == matrix`` for a 0/1 matrix (multiplicities are preserved
-    by repeating edge columns).
+    ``out @ in == matrix``; multiplicities are preserved by repeating
+    edge columns, so an entry of ``c`` (a summed parallel edge)
+    decomposes through ``c`` artificial nodes, exactly as HeteSim's
+    original edge decomposition prescribes.
     """
     coo = matrix.tocoo()
-    count = coo.nnz
+    if not np.allclose(coo.data, np.rint(coo.data)):
+        raise EvaluationError(
+            "edge decomposition needs integer edge multiplicities; got "
+            "fractional weights (min {:.4g})".format(coo.data.min())
+        )
+    multiplicities = np.asarray(
+        np.rint(coo.data), dtype=np.int64
+    ).clip(min=0)
+    rows = np.repeat(coo.row, multiplicities)
+    cols = np.repeat(coo.col, multiplicities)
+    count = int(multiplicities.sum())
     data = np.ones(count)
     out = sp.csr_matrix(
-        (data, (coo.row, np.arange(count))), shape=(matrix.shape[0], count)
+        (data, (rows, np.arange(count))), shape=(matrix.shape[0], count)
     )
     into = sp.csr_matrix(
-        (data, (np.arange(count), coo.col)), shape=(count, matrix.shape[1])
+        (data, (np.arange(count), cols)), shape=(count, matrix.shape[1])
     )
     return out, into
 
@@ -113,46 +125,27 @@ class HeteSim(SimilarityAlgorithm):
             self._target_norms = np.sqrt(np.asarray(squared).ravel())
         return self._target_norms
 
-    def scores(self, query):
-        return self.scores_many([query])[query]
+    def score_rows(self, queries):
+        """Batch score rows via one left-row slice and one sparse product.
 
-    def scores_many(self, queries):
-        """Batch scores via one left-row slice and one sparse product.
-
-        ``score(q, v) = (L[q] . R[v]) / (|L[q]| |R[v]|)`` for all queries
-        and candidates at once: ``L[rows, :] @ R^T`` replaces the
+        ``score(q, v) = (L[q] . R[v]) / (|L[q]| |R[v]|)`` for all
+        queries and nodes at once: ``L[rows, :] @ R^T`` replaces the
         per-candidate dot products, and the target norms are computed
-        once per instance.  ``scores`` delegates here with a single-row
-        slice, so batched and per-query results are identical by
-        construction.
+        once per instance.  Scores with a zero source or target norm are
+        0 (no walk reaches the midpoint from that endpoint).
         """
         queries = list(queries)
-        if not queries:
-            return {}
         indexer = self._view.indexer
-        indices = [indexer.index_of(query) for query in queries]
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
+        )
         left_rows = self._left[indices, :].tocsr()
         squared = left_rows.multiply(left_rows).sum(axis=1)
         source_norms = np.sqrt(np.asarray(squared).ravel())
         products = np.asarray((left_rows @ self._right.T).todense())
         target_norms = self._norms_of_right()
-        results = {}
-        for i, query in enumerate(queries):
-            if source_norms[i] == 0:
-                results[query] = {
-                    node: 0.0 for node in self.candidates(query)
-                }
-                continue
-            scored = {}
-            for node in self.candidates(query):
-                if node not in indexer:
-                    continue
-                j = indexer.index_of(node)
-                if target_norms[j] == 0:
-                    scored[node] = 0.0
-                else:
-                    scored[node] = float(
-                        products[i, j] / (source_norms[i] * target_norms[j])
-                    )
-            results[query] = scored
-        return results
+        denominator = source_norms[:, None] * target_norms[None, :]
+        scores = np.zeros_like(products)
+        defined = denominator > 0
+        scores[defined] = products[defined] / denominator[defined]
+        return indices, scores

@@ -32,39 +32,22 @@ class CommonNeighbors(SimilarityAlgorithm):
             self._view.combined_adjacency(symmetric=True)
         )
 
-    def scores(self, query):
-        indexer = self._view.indexer
-        row = self._boolean[indexer.index_of(query), :]
-        counts = np.asarray((row @ self._boolean).todense()).ravel()
-        return {
-            node: float(counts[indexer.index_of(node)])
-            for node in self.candidates(query)
-            if node in indexer
-        }
-
-    def scores_many(self, queries):
-        """Batch scores: one sparse slice-and-multiply for all queries.
+    def score_rows(self, queries):
+        """Batch score rows: one sparse slice-and-multiply for all queries.
 
         CSR matmul builds each output row from that row's nonzeros
         alone, so row ``i`` of ``B[rows, :] @ B`` is exactly the
         single-query product — the batch is a pure speedup.
         """
         queries = list(queries)
-        if not queries:
-            return {}
         indexer = self._view.indexer
-        indices = [indexer.index_of(query) for query in queries]
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
+        )
         counts = np.asarray(
             (self._boolean[indices, :] @ self._boolean).todense()
         )
-        return {
-            query: {
-                node: float(counts[i, indexer.index_of(node)])
-                for node in self.candidates(query)
-                if node in indexer
-            }
-            for i, query in enumerate(queries)
-        }
+        return indices, counts
 
 
 class Katz(SimilarityAlgorithm):
@@ -109,18 +92,25 @@ class Katz(SimilarityAlgorithm):
         self._max_iterations = max_iterations
         self._tolerance = tolerance
 
-    def scores(self, query):
-        indexer = self._view.indexer
-        term = np.zeros(len(indexer))
-        term[indexer.index_of(query)] = 1.0
+    def _katz_vector(self, index):
+        term = np.zeros(len(self._view.indexer))
+        term[index] = 1.0
         total = np.zeros_like(term)
         for _ in range(self._max_iterations):
             term = self.beta * (self._adjacency @ term)
             total += term
             if term.sum() < self._tolerance:
                 break
-        return {
-            node: float(total[indexer.index_of(node)])
-            for node in self.candidates(query)
-            if node in indexer
-        }
+        return total
+
+    def score_rows(self, queries):
+        """One geometric power series per query, stacked into score rows."""
+        queries = list(queries)
+        indexer = self._view.indexer
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
+        )
+        rows = np.empty((len(queries), len(indexer)))
+        for i, index in enumerate(indices):
+            rows[i] = self._katz_vector(int(index))
+        return indices, rows

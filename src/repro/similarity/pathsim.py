@@ -11,6 +11,8 @@ see :mod:`repro.core.relsim`); classic PathSim corresponds to passing a
 simple pattern.
 """
 
+import numpy as np
+
 from repro.exceptions import AsymmetricPatternError
 from repro.lang.ast import Pattern, simple_steps
 from repro.lang.matrix_semantics import CommutingMatrixEngine
@@ -76,28 +78,15 @@ class PathSim(SimilarityAlgorithm):
             )
         self.pattern = pattern
         self.engine = engine or CommutingMatrixEngine(database)
+        self._view = self.engine.view
 
-    def scores(self, query):
-        vector = self.engine.pathsim_scores_from(self.pattern, query)
-        indexer = self.engine.indexer
-        return {
-            node: float(vector[indexer.index_of(node)])
-            for node in self.candidates(query)
-            if node in indexer
-        }
-
-    def scores_many(self, queries):
-        """Batch scores from one sparse row slice of the commuting matrix."""
+    def score_rows(self, queries):
+        """Batch score rows from one sparse slice of the commuting matrix."""
         queries = list(queries)
-        if not queries:
-            return {}
-        rows = self.engine.pathsim_scores_from_many(self.pattern, queries)
         indexer = self.engine.indexer
-        return {
-            query: {
-                node: float(rows[i, indexer.index_of(node)])
-                for node in self.candidates(query)
-                if node in indexer
-            }
-            for i, query in enumerate(queries)
-        }
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
+        )
+        return indices, self.engine.pathsim_scores_from_many(
+            self.pattern, queries
+        )

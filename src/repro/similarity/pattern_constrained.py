@@ -9,6 +9,8 @@ weight matrices are equal across invertible variations, so the walks are
 identical.
 """
 
+import numpy as np
+
 from repro.lang.ast import Pattern
 from repro.lang.matrix_semantics import CommutingMatrixEngine
 from repro.lang.parser import parse_pattern
@@ -50,25 +52,29 @@ class PatternRWR(SimilarityAlgorithm):
         self.pattern, self.engine = _pattern_and_engine(
             database, pattern, engine
         )
+        self._view = self.engine.view
         weights = self.engine.matrix(self.pattern)
         weights = weights + weights.T
         self._walk = row_normalize(weights)
         self.restart = restart
         self._max_iterations = max_iterations
 
-    def scores(self, query):
+    def score_rows(self, queries):
+        """One power-iteration solve per query, stacked into score rows."""
+        queries = list(queries)
         indexer = self.engine.indexer
-        vector = rwr_vector(
-            self._walk,
-            indexer.index_of(query),
-            restart=self.restart,
-            max_iterations=self._max_iterations,
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
         )
-        return {
-            node: float(vector[indexer.index_of(node)])
-            for node in self.candidates(query)
-            if node in indexer
-        }
+        rows = np.empty((len(queries), len(indexer)))
+        for i, index in enumerate(indices):
+            rows[i] = rwr_vector(
+                self._walk,
+                int(index),
+                restart=self.restart,
+                max_iterations=self._max_iterations,
+            )
+        return indices, rows
 
 
 class PatternSimRank(SimilarityAlgorithm):
@@ -98,31 +104,17 @@ class PatternSimRank(SimilarityAlgorithm):
                 "PatternSimRank needs a dense {0}x{0} matrix; over "
                 "max_nodes={1}".format(n, max_nodes)
             )
+        self._view = self.engine.view
         weights = self.engine.matrix(self.pattern)
         weights = weights + weights.T
         self._scores = simrank_matrix(
             weights, damping=damping, iterations=iterations
         )
 
-    def scores(self, query):
+    def score_rows(self, queries):
+        """Batch score rows from one slice of the precomputed dense matrix."""
         indexer = self.engine.indexer
-        row = self._scores[indexer.index_of(query), :]
-        return {
-            node: float(row[indexer.index_of(node)])
-            for node in self.candidates(query)
-            if node in indexer
-        }
-
-    def scores_many(self, queries):
-        """Batch scores from one slice of the precomputed dense matrix."""
-        queries = list(queries)
-        indexer = self.engine.indexer
-        rows = self._scores[[indexer.index_of(q) for q in queries], :]
-        return {
-            query: {
-                node: float(rows[i, indexer.index_of(node)])
-                for node in self.candidates(query)
-                if node in indexer
-            }
-            for i, query in enumerate(queries)
-        }
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
+        )
+        return indices, self._scores[indices, :]

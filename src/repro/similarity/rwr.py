@@ -83,16 +83,19 @@ class RWR(SimilarityAlgorithm):
         self._walk = row_normalize(adjacency)
         self._max_iterations = max_iterations
 
-    def scores(self, query):
+    def score_rows(self, queries):
+        """One power-iteration solve per query, stacked into score rows."""
+        queries = list(queries)
         indexer = self._view.indexer
-        vector = rwr_vector(
-            self._walk,
-            indexer.index_of(query),
-            restart=self.restart,
-            max_iterations=self._max_iterations,
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
         )
-        return {
-            node: float(vector[indexer.index_of(node)])
-            for node in self.candidates(query)
-            if node in indexer
-        }
+        rows = np.empty((len(queries), len(indexer)))
+        for i, index in enumerate(indices):
+            rows[i] = rwr_vector(
+                self._walk,
+                int(index),
+                restart=self.restart,
+                max_iterations=self._max_iterations,
+            )
+        return indices, rows

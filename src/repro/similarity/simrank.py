@@ -97,25 +97,10 @@ class SimRank(SimilarityAlgorithm):
             adjacency, damping=damping, iterations=iterations
         )
 
-    def scores(self, query):
+    def score_rows(self, queries):
+        """Batch score rows from one slice of the precomputed dense matrix."""
         indexer = self._view.indexer
-        row = self._scores[indexer.index_of(query), :]
-        return {
-            node: float(row[indexer.index_of(node)])
-            for node in self.candidates(query)
-            if node in indexer
-        }
-
-    def scores_many(self, queries):
-        """Batch scores from one slice of the precomputed dense matrix."""
-        queries = list(queries)
-        indexer = self._view.indexer
-        rows = self._scores[[indexer.index_of(q) for q in queries], :]
-        return {
-            query: {
-                node: float(rows[i, indexer.index_of(node)])
-                for node in self.candidates(query)
-                if node in indexer
-            }
-            for i, query in enumerate(queries)
-        }
+        indices = np.array(
+            [indexer.index_of(query) for query in queries], dtype=np.intp
+        )
+        return indices, self._scores[indices, :]

@@ -161,3 +161,22 @@ def test_timing_table_layout():
     )
     assert "0.0350" in text
     assert "BioMed" in text
+
+
+def test_effectiveness_mrr_ignores_queries_missing_from_variant(fig1_pair):
+    db, _, _ = fig1_pair
+    # "PhantomArea" is not a node of this variant: its RR must not be
+    # averaged in as a spurious 0 (the old code passed the *full* ground
+    # truth to mean_reciprocal_rank and deflated the variant's MRR).
+    truth = {"DataMining": "Databases", "PhantomArea": "Databases"}
+    experiment = EffectivenessExperiment(
+        variants={"original": db},
+        algorithms={
+            "PathSim": {
+                "original": lambda d: PathSim(d, "r-a-.p-in.p-in-.r-a")
+            }
+        },
+        ground_truth=truth,
+    )
+    result = experiment.run()
+    assert result.mrr("original", "PathSim") == 1.0

@@ -136,3 +136,41 @@ def test_shared_indexer_alignment(tiny_db):
     assert (
         engine_a.matrix(pattern) != engine_b.matrix(pattern)
     ).nnz == 0
+
+
+# ----------------------------------------------------------------------
+# LRU recency and materialization under a cache cap
+# ----------------------------------------------------------------------
+def test_column_norm_hit_refreshes_matrix_recency(tiny_db):
+    # A norms hit must also refresh the pattern's *matrix* LRU slot —
+    # otherwise a hot pattern's matrix is evicted while its norms
+    # survive, and the next score pays a recompute.
+    engine = CommutingMatrixEngine(tiny_db, max_cached_matrices=2)
+    pa, pb, pc = (parse_pattern(text) for text in ("a", "b", "c"))
+    engine.matrix(pa)
+    engine.column_norms(pa)
+    engine.matrix(pb)
+    engine.column_norms(pa)  # hit: refreshes pa's matrix recency
+    engine.matrix(pc)  # evicts pb (the true LRU), not pa
+    misses = engine.cache_info()["misses"]
+    engine.matrix(pa)
+    assert engine.cache_info()["misses"] == misses
+
+
+def test_materialize_over_cache_cap_raises(tiny_db):
+    from repro.exceptions import EvaluationError
+
+    # 4 steps (a, a-, b, b-): 4 + 16 = 20 patterns will not fit in 3
+    # slots; silently thrashing the LRU and returning a capped count
+    # would be misleading.
+    engine = CommutingMatrixEngine(tiny_db, max_cached_matrices=3)
+    with pytest.raises(EvaluationError):
+        engine.materialize_simple_patterns(max_length=2, labels=["a", "b"])
+
+
+def test_materialize_under_cache_cap_succeeds(tiny_db):
+    engine = CommutingMatrixEngine(tiny_db, max_cached_matrices=100)
+    cached = engine.materialize_simple_patterns(
+        max_length=2, labels=["a", "b"]
+    )
+    assert cached >= 20

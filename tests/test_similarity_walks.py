@@ -186,3 +186,69 @@ def test_pattern_simrank_node_guard(fig1):
 def test_pattern_algorithms_reject_bad_pattern(fig1):
     with pytest.raises(TypeError):
         PatternRWR(fig1, 3.14)
+
+
+# ----------------------------------------------------------------------
+# Edge decomposition multiplicities (multigraph regression)
+# ----------------------------------------------------------------------
+def test_edge_decomposition_preserves_multiplicities():
+    from repro.similarity.hetesim import _edge_decomposition
+
+    # A summed parallel edge (count 2) must decompose through *two*
+    # artificial nodes so that out @ in reproduces the matrix; the old
+    # decomposition used all-ones data and collapsed it to 1.
+    matrix = sp.csr_matrix(
+        np.array([[0.0, 2.0, 1.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+    )
+    out, into = _edge_decomposition(matrix)
+    assert out.shape == (3, 3)  # one artificial node per edge *instance*
+    assert into.shape == (3, 3)
+    assert ((out @ into) != matrix).nnz == 0
+
+
+def test_edge_decomposition_unit_counts_unchanged():
+    from repro.similarity.hetesim import _edge_decomposition
+
+    matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    out, into = _edge_decomposition(matrix)
+    assert out.shape == (2, 2)
+    assert ((out @ into) != matrix).nnz == 0
+
+
+def test_hetesim_multigraph_odd_path_scores():
+    from repro.graph.matrices import MatrixView
+
+    # GraphDatabase has set semantics on edges, so a summed parallel
+    # edge only arises through an injected view (e.g. matrices summed by
+    # a structural transformation).  Prime the adjacency cache with the
+    # multigraph matrix the same way such a variant would supply it.
+    db = GraphDatabase(Schema(["e"]))
+    for node in ("s", "t", "u"):
+        db.add_node(node, "n")
+    db.add_edge("s", "e", "t")
+    db.add_edge("s", "e", "u")
+    view = MatrixView(db)
+    order = [view.indexer.index_of(n) for n in ("s", "t", "u")]
+    assert order == [0, 1, 2]
+    view._cache["e"] = sp.csr_matrix(
+        np.array([[0.0, 2.0, 1.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+    )
+
+    # Odd-length (length-1) meta-path: the middle relation "e" is
+    # decomposed.  With the s->t multiplicity of 2 preserved, walker
+    # mass from s splits over *three* artificial nodes, two of which
+    # reach t:  U_L(s) = [1/3, 1/3, 1/3], U_R(t) = [1/2, 1/2, 0],
+    # U_R(u) = [0, 0, 1].
+    scores = HeteSim(db, "e", view=view).scores("s")
+    assert scores["t"] == pytest.approx(np.sqrt(6) / 3)  # ~0.8165
+    assert scores["u"] == pytest.approx(1 / np.sqrt(3))  # ~0.5774
+    # The doubled edge must outrank the single one.
+    assert scores["t"] > scores["u"]
+
+
+def test_edge_decomposition_rejects_fractional_weights():
+    from repro.similarity.hetesim import _edge_decomposition
+
+    matrix = sp.csr_matrix(np.array([[0.0, 0.5], [0.0, 0.0]]))
+    with pytest.raises(EvaluationError):
+        _edge_decomposition(matrix)
