@@ -48,7 +48,16 @@ def dblp_bundle():
 
 @pytest.fixture(scope="session")
 def dblp_large_bundle():
-    """Larger DBLP for the efficiency table (no SimRank there)."""
+    """Larger DBLP for the efficiency table (no SimRank there).
+
+    ``REPRO_BENCH_SCALE=smoke`` (the CI benchmark smoke job) shrinks it
+    so the efficiency gates run in CI minutes; thresholds are ratios,
+    so they hold at either size.
+    """
+    if os.environ.get("REPRO_BENCH_SCALE") == "smoke":
+        return generate_dblp(
+            num_areas=8, num_procs=60, num_papers=800, num_authors=400, seed=0
+        )
     return generate_dblp(
         num_areas=15, num_procs=120, num_papers=2000, num_authors=900, seed=0
     )

@@ -31,7 +31,9 @@ Three levels of API, lowest to highest::
 
 from repro.api.registry import algorithm_class, algorithm_parameters
 from repro.exceptions import EvaluationError
+from repro.lang.ast import Pattern
 from repro.lang.matrix_semantics import CommutingMatrixEngine
+from repro.lang.parser import parse_pattern
 from repro.similarity.base import SimilarityAlgorithm
 
 
@@ -92,15 +94,68 @@ class SimilaritySession:
         """Precompute commuting matrices for meta-paths up to a length.
 
         The paper's Section-7.3 "materialize and pre-load" setting;
-        returns the number of matrices now cached.
+        returns the number of matrices now cached.  Runs through the
+        engine's plan compiler, so each length-``k`` meta-path is one
+        sparse product on top of an already-materialized length-
+        ``(k-1)`` chain.
         """
         return self._engine.materialize_simple_patterns(
             max_length=max_length, labels=labels
         )
 
     def cache_info(self):
-        """The shared engine's cache counters (matrices, norms, hits)."""
+        """The shared engine's cache counters and memory accounting.
+
+        Includes ``nnz`` (total cached nonzeros) and ``bytes``
+        (approximate resident bytes across matrices and column norms),
+        so ``max_cached_matrices`` can be tuned by measured size rather
+        than guessed entry count.
+        """
         return self._engine.cache_info()
+
+    @staticmethod
+    def _as_pattern_list(pattern_or_patterns):
+        if isinstance(pattern_or_patterns, (str, Pattern)):
+            pattern_or_patterns = [pattern_or_patterns]
+        patterns = []
+        for pattern in pattern_or_patterns:
+            if isinstance(pattern, str):
+                pattern = parse_pattern(pattern)
+            if not isinstance(pattern, Pattern):
+                raise TypeError(
+                    "pattern must be a string or Pattern AST, got "
+                    "{!r}".format(pattern)
+                )
+            patterns.append(pattern)
+        if not patterns:
+            raise EvaluationError("at least one pattern is required")
+        return patterns
+
+    def explain(self, pattern_or_patterns):
+        """The compiled evaluation plan for one pattern or a pattern set.
+
+        Returns a human-readable report: canonical form per pattern,
+        the cost-chosen multiplication order for concatenation chains,
+        estimated nnz/cost, and the sub-plans shared by more than one
+        pattern of the set (each of which the engine evaluates exactly
+        once).  Accepts pattern strings or ASTs.  No matrices are
+        computed, but the plan is binding: chain orders are fixed as an
+        actual evaluation would fix them, so the report shows exactly
+        what a later ``materialize``/query over these patterns will do.
+        """
+        return self._engine.explain(self._as_pattern_list(pattern_or_patterns))
+
+    def matrices_many(self, pattern_or_patterns):
+        """Commuting matrices for a pattern set via the batch plan path.
+
+        Thin passthrough to the engine's ``matrices_many``: the whole
+        set is compiled before any pattern executes, so shared
+        sub-chains are evaluated once.  Accepts strings or ASTs;
+        returns matrices in input order.
+        """
+        return self._engine.matrices_many(
+            self._as_pattern_list(pattern_or_patterns)
+        )
 
     # ------------------------------------------------------------------
     # Construction by name
@@ -278,6 +333,22 @@ class QueryBuilder:
                 else [])
         )
         return self._algorithm
+
+    def explain(self):
+        """The compiled plan report for this query's pattern set.
+
+        Builds the algorithm (running Algorithm 1 first when
+        :meth:`expand_patterns` was requested) and explains the pattern
+        set it will score with — canonical forms, multiplication
+        orders, and the sub-plans shared across the set.
+        """
+        self.build()
+        if not self._patterns_used:
+            raise EvaluationError(
+                "algorithm {!r} scores without patterns; nothing to "
+                "explain".format(self._name)
+            )
+        return self._session.explain(self._patterns_used)
 
     def scores(self):
         """``{candidate: score}`` for the query node."""

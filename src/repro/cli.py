@@ -7,6 +7,7 @@ Subcommands mirror the research workflow::
     repro query db.json --pattern "r-a-.r-a" --node X    # similarity search
     repro query db.json --algorithm rwr --node X         # any registered algo
     repro query db.json --pattern "r-a-.r-a" --node X --expand   # Algorithm 1
+    repro explain db.json --pattern "r-a-.r-a" --expand  # compiled plan
     repro transform db.json --mapping dblp2sigm --out t.json
     repro patterns db.json --pattern "r-a-.r-a"          # Algorithm 1
     repro robustness --dataset dblp --mapping dblp2sigm  # mini Table 1
@@ -119,6 +120,29 @@ def build_parser():
         "--answer-type", default=None, help="restrict answers to a node type"
     )
 
+    explain = sub.add_parser(
+        "explain", help="show the compiled evaluation plan for patterns"
+    )
+    explain.add_argument("database")
+    explain.add_argument(
+        "--pattern",
+        action="append",
+        required=True,
+        dest="patterns",
+        help="RRE pattern (repeat for a set)",
+    )
+    explain.add_argument(
+        "--expand",
+        action="store_true",
+        help="run Algorithm 1 on the (single) simple pattern first",
+    )
+    explain.add_argument(
+        "--max-expand",
+        type=int,
+        default=16,
+        help="pattern budget for --expand",
+    )
+
     transform = sub.add_parser("transform", help="apply a catalog mapping")
     transform.add_argument("database")
     transform.add_argument("--mapping", choices=sorted(_MAPPINGS), required=True)
@@ -212,6 +236,26 @@ def _cmd_query(args, out):
         print("{:>3}. {:<30s} {:.6f}".format(position, node, score), file=out)
     if not len(ranking):
         print("(no similar nodes found)", file=out)
+    return 0
+
+
+def _cmd_explain(args, out):
+    database = load_json(args.database)
+    session = SimilaritySession(database)
+    patterns = [parse_pattern(text) for text in args.patterns]
+    if args.expand:
+        if len(patterns) != 1:
+            raise EvaluationError(
+                "--expand runs Algorithm 1 on one simple pattern; got "
+                "{}".format(len(patterns))
+            )
+        generated = generate_patterns(
+            patterns[0],
+            database.schema.constraints,
+            max_patterns=args.max_expand,
+        )
+        patterns = list(generated.patterns)
+    print(session.explain(patterns), file=out)
     return 0
 
 
@@ -316,6 +360,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "query": _cmd_query,
+    "explain": _cmd_explain,
     "transform": _cmd_transform,
     "patterns": _cmd_patterns,
     "robustness": _cmd_robustness,

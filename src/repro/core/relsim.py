@@ -117,13 +117,27 @@ class RelSim(SimilarityAlgorithm):
         return scores
 
     def score_rows(self, queries):
-        """Batch score rows: one sparse row slice per pattern, summed."""
+        """Batch score rows: one sparse row slice per pattern, summed.
+
+        The whole pattern set is *compiled* first, so the plan compiler
+        sees every pattern before any chain order is chosen and the
+        shared prefixes/sub-chains of an Algorithm-1 expansion are
+        multiplied once and reused (cross-pattern CSE).  When the set
+        fits under the engine's LRU cap, the matrices are also warmed
+        through ``matrices_many`` so the per-pattern scoring below is
+        pure cache hits; with a cap smaller than the set, warming would
+        defeat the cap (pin every matrix at once) and be evicted before
+        use, so only the compile pass runs.
+        """
         queries = list(queries)
-        indexer = self.engine.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
-        total = np.zeros((len(queries), len(indexer)))
+        indices = self.engine.query_indices(queries)
+        cap = self.engine.max_cached_matrices
+        if cap is None or cap >= len(self.patterns):
+            self.engine.matrices_many(self.patterns)
+        else:
+            for pattern in self.patterns:
+                self.engine.compile(pattern)
+        total = np.zeros((len(queries), len(self.engine.indexer)))
         for pattern in self.patterns:
             total += self._pattern_rows(pattern, queries)
         return indices, total

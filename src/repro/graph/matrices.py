@@ -143,6 +143,18 @@ class MatrixView:
             self._candidates[key] = cached
         return cached
 
+    def query_indices(self, nodes):
+        """Indexer positions for ``nodes`` as one ``intp`` array.
+
+        The shared node->index resolution step of every batch scoring
+        path; a node outside the snapshot raises
+        :class:`~repro.exceptions.UnknownNodeError` (scoring a node the
+        snapshot does not cover is an error, not a zero score).
+        """
+        return np.array(
+            [self._indexer.index_of(node) for node in nodes], dtype=np.intp
+        )
+
     def identity(self):
         """The identity matrix (the ``epsilon`` pattern's matrix)."""
         return sp.identity(len(self._indexer), dtype=np.float64, format="csr")

@@ -12,13 +12,28 @@ For a pattern ``p`` over database ``D``, the commuting matrix ``M_p`` has
     M_[p]      = diag{ M_p (M_p^T > 0) }      (nested)
     M_{p*}     = I + M_p + M_p^2 + ...        (bounded; see below)
 
-The engine memoizes per-pattern matrices, supports the paper's
-"materialize all meta-paths up to length 3" setting, and exposes the
-PathSim scoring helper used by both PathSim and RelSim.
+The engine **compiles before it executes**: every pattern goes through
+the plan compiler (:mod:`repro.lang.plan`), which canonicalizes it
+(reverse pushed to leaves, unions deduplicated and sorted, ...) and
+interns the result into a plan DAG.  The memo cache is keyed on
+canonical plan nodes, so associativity-equivalent and
+reverse-normalized spellings of the same pattern share one cache entry,
+shared sub-plans across a pattern set are evaluated exactly once
+(cross-pattern CSE), and concatenation chains are multiplied in a
+cost-chosen order (sparse matrix-chain ordering over nnz estimates).
+``matrices_many`` is the batch entry point that lets the compiler see a
+whole pattern set — e.g. Algorithm 1's expansion — before any chain
+order is fixed.
+
+The engine also supports the paper's "materialize all meta-paths up to
+length 3" setting and exposes the PathSim scoring helper used by both
+PathSim and RelSim.  The seed's direct AST recursion is kept as
+:func:`naive_matrix` — the reference oracle the plan path is tested and
+benchmarked against.
 """
 
 import itertools
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 
 import numpy as np
 
@@ -37,6 +52,92 @@ from repro.lang.ast import (
     Union,
     simple_pattern,
 )
+from repro.lang.plan import (
+    PlanCompiler,
+    estimate_nnz,
+    order_chain,
+    render_order,
+)
+
+
+def _star_sum(identity, base, max_depth, origin):
+    """``I + M + M^2 + ...`` with the divergence bound (shared helper)."""
+    total = identity
+    power = base.copy()
+    depth = 1
+    while power.nnz > 0:
+        if depth > max_depth:
+            raise StarDivergenceError(origin, max_depth)
+        total = total + power
+        power = (power @ base).tocsr()
+        depth += 1
+    return total.tocsr()
+
+
+def naive_matrix(view, pattern, max_star_depth=None, cache=None):
+    """Seed-style recursive evaluation of one pattern AST (the oracle).
+
+    Walks the AST directly — no canonicalization, no plan DAG, chains
+    multiplied left-to-right — memoizing per AST node in ``cache``
+    (fresh per call unless provided).  This is exactly the pre-plan
+    engine semantics; the plan compiler's property tests and the
+    plan-vs-naive benchmark compare against it, and "per-pattern cold
+    evaluation" in the benchmark means one fresh ``cache`` per pattern.
+    """
+    if max_star_depth is None:
+        max_star_depth = max(view.num_nodes(), 1)
+    if cache is None:
+        cache = {}
+
+    def recurse(node):
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, Epsilon):
+            result = view.identity()
+        elif isinstance(node, Label):
+            result = view.adjacency(node.name)
+        elif isinstance(node, Reverse):
+            result = recurse(node.operand).T.tocsr()
+        elif isinstance(node, Concat):
+            result = recurse(node.parts[0])
+            for part in node.parts[1:]:
+                result = result @ recurse(part)
+            result = result.tocsr()
+        elif isinstance(node, Union):
+            # The paper sums distinct disjuncts only (M_{p+p} = M_p).
+            unique = []
+            for part in node.parts:
+                if part not in unique:
+                    unique.append(part)
+            result = recurse(unique[0])
+            for part in unique[1:]:
+                result = result + recurse(part)
+            result = result.tocsr()
+        elif isinstance(node, Skip):
+            result = boolean(recurse(node.operand))
+        elif isinstance(node, Nested):
+            inner = recurse(node.operand)
+            result = diagonal_of(inner @ boolean(inner.T)).tocsr()
+        elif isinstance(node, Star):
+            result = _star_sum(
+                view.identity(), recurse(node.operand), max_star_depth, node
+            )
+        elif isinstance(node, Conj):
+            result = recurse(node.parts[0])
+            for part in node.parts[1:]:
+                result = result.multiply(recurse(part))
+            result = result.tocsr()
+        else:
+            raise TypeError("unhandled pattern node {!r}".format(node))
+        cache[node] = result
+        return result
+
+    if not isinstance(pattern, Pattern):
+        raise TypeError(
+            "pattern must be a Pattern AST, got {!r}".format(pattern)
+        )
+    return recurse(pattern)
 
 
 class CommutingMatrixEngine:
@@ -57,7 +158,17 @@ class CommutingMatrixEngine:
         their derived column norms) with LRU eviction.  ``None`` (the
         default) keeps every matrix, matching the paper's
         "materialize and pre-load" setting; a session serving many
-        ad-hoc patterns caps memory with this knob.
+        ad-hoc patterns caps memory with this knob.  ``cache_info()``
+        reports the cached total nnz and approximate bytes, so the cap
+        can be tuned by measured size rather than guessed count.
+
+    The cache is keyed on canonical *plan nodes*, not raw ASTs: any two
+    patterns with the same canonical form — ``(a.b)-`` and ``b-.a-``,
+    ``a+b`` and ``b+a``, re-parenthesized concatenations — share one
+    entry, and intermediate chain products live in the same LRU, so a
+    sub-chain shared across patterns is computed once.  (Plan nodes and
+    the pattern->plan memo are retained for the engine's lifetime; they
+    are a few hundred bytes each, negligible next to one matrix.)
     """
 
     def __init__(
@@ -77,6 +188,7 @@ class CommutingMatrixEngine:
             )
         self._max_star_depth = max_star_depth
         self._max_cached = max_cached_matrices
+        self._compiler = PlanCompiler()
         self._cache = OrderedDict()
         self._column_norms = OrderedDict()
         self._hits = 0
@@ -90,22 +202,100 @@ class CommutingMatrixEngine:
     def indexer(self):
         return self._view.indexer
 
-    def matrix(self, pattern):
-        """The commuting matrix ``M_pattern`` (CSR, cached)."""
+    @property
+    def compiler(self):
+        """The engine's plan compiler (one interner per snapshot)."""
+        return self._compiler
+
+    @property
+    def max_cached_matrices(self):
+        """The LRU cap (``None`` = keep everything)."""
+        return self._max_cached
+
+    # ------------------------------------------------------------------
+    # Compile and execute
+    # ------------------------------------------------------------------
+    def compile(self, pattern):
+        """The canonical :class:`~repro.lang.plan.PlanNode` for a pattern."""
         if not isinstance(pattern, Pattern):
             raise TypeError(
                 "pattern must be a Pattern AST, got {!r}".format(pattern)
             )
-        cached = self._cache.get(pattern)
+        return self._compiler.compile(pattern)
+
+    def matrix(self, pattern):
+        """The commuting matrix ``M_pattern`` (CSR, cached)."""
+        return self._plan_matrix(self.compile(pattern))
+
+    def matrices_many(self, patterns):
+        """Commuting matrices for a whole pattern set (list, input order).
+
+        The batch entry point: every pattern is *compiled* before any is
+        *executed*, so the chain-ordering step sees complete sub-chain
+        sharing statistics and each shared prefix/sub-chain of the set
+        is evaluated exactly once.  This is how RelSim evaluates an
+        Algorithm-1 expansion.
+        """
+        plans = [self.compile(pattern) for pattern in patterns]
+        return [self._plan_matrix(plan) for plan in plans]
+
+    def _plan_matrix(self, node):
+        cached = self._cache.get(node)
         if cached is None:
             self._misses += 1
-            cached = self._compute(pattern)
-            self._cache[pattern] = cached
+            cached = self._execute(node)
+            self._cache[node] = cached
             self._evict()
         else:
             self._hits += 1
-            self._cache.move_to_end(pattern)
+            self._cache.move_to_end(node)
         return cached
+
+    def _execute(self, node):
+        kind = node.kind
+        if kind == "eps":
+            return self._view.identity()
+        if kind == "leaf":
+            return self._view.adjacency(node.payload)
+        if kind == "transpose":
+            return self._plan_matrix(node.children[0]).T.tocsr()
+        if kind == "chain":
+            self._ensure_ordered(node)
+            left = self._plan_matrix(node.left)
+            right = self._plan_matrix(node.right)
+            return (left @ right).tocsr()
+        if kind == "add":
+            total = self._plan_matrix(node.children[0])
+            for child in node.children[1:]:
+                total = total + self._plan_matrix(child)
+            return total.tocsr()
+        if kind == "hadamard":
+            product = self._plan_matrix(node.children[0])
+            for child in node.children[1:]:
+                product = product.multiply(self._plan_matrix(child))
+            return product.tocsr()
+        if kind == "bool":
+            return boolean(self._plan_matrix(node.children[0]))
+        if kind == "nested":
+            inner = self._plan_matrix(node.children[0])
+            return diagonal_of(inner @ boolean(inner.T)).tocsr()
+        if kind == "star":
+            return _star_sum(
+                self._view.identity(),
+                self._plan_matrix(node.children[0]),
+                self._max_star_depth,
+                node,
+            )
+        raise TypeError("unhandled plan node kind {!r}".format(kind))
+
+    def _leaf_nnz(self, label):
+        return self._view.adjacency(label).nnz
+
+    def _ensure_ordered(self, node):
+        if node.split_at is None:
+            order_chain(
+                node, self._leaf_nnz, self._view.num_nodes(), self._compiler
+            )
 
     def _evict(self):
         if self._max_cached is None:
@@ -122,75 +312,25 @@ class CommutingMatrixEngine:
         Shared denominator of the cosine scoring mode; caching it here
         (instead of per algorithm instance) lets every algorithm built on
         the same engine — e.g. through one ``SimilaritySession`` — reuse
-        the vector.
+        the vector.  Keyed on the canonical plan node, like the matrix
+        cache.
         """
-        norms = self._column_norms.get(pattern)
+        plan = self.compile(pattern)
+        norms = self._column_norms.get(plan)
         if norms is None:
-            matrix = self.matrix(pattern)
+            matrix = self._plan_matrix(plan)
             squared = matrix.multiply(matrix).sum(axis=0)
             norms = np.sqrt(np.asarray(squared).ravel())
-            self._column_norms[pattern] = norms
+            self._column_norms[plan] = norms
             self._evict()
         else:
-            self._column_norms.move_to_end(pattern)
+            self._column_norms.move_to_end(plan)
             # A norms hit is a use of the pattern's matrix too: refresh
             # its LRU slot so a hot pattern's matrix is not evicted out
             # from under its surviving norms.
-            if pattern in self._cache:
-                self._cache.move_to_end(pattern)
+            if plan in self._cache:
+                self._cache.move_to_end(plan)
         return norms
-
-    def _compute(self, pattern):
-        if isinstance(pattern, Epsilon):
-            return self._view.identity()
-        if isinstance(pattern, Label):
-            return self._view.adjacency(pattern.name)
-        if isinstance(pattern, Reverse):
-            return self.matrix(pattern.operand).T.tocsr()
-        if isinstance(pattern, Concat):
-            product = self.matrix(pattern.parts[0])
-            for part in pattern.parts[1:]:
-                product = product @ self.matrix(part)
-            return product.tocsr()
-        if isinstance(pattern, Union):
-            # The paper sums distinct disjuncts only (M_{p+p} = M_p).
-            unique = []
-            for part in pattern.parts:
-                if part not in unique:
-                    unique.append(part)
-            total = self.matrix(unique[0])
-            for part in unique[1:]:
-                total = total + self.matrix(part)
-            return total.tocsr()
-        if isinstance(pattern, Skip):
-            return boolean(self.matrix(pattern.operand))
-        if isinstance(pattern, Nested):
-            inner = self.matrix(pattern.operand)
-            return diagonal_of(inner @ boolean(inner.T)).tocsr()
-        if isinstance(pattern, Star):
-            return self._star(pattern)
-        if isinstance(pattern, Conj):
-            # Conjunctive RRE: an instance is one sub-instance per
-            # conjunct with shared endpoints, so counts multiply
-            # entrywise (Hadamard product).
-            product = self.matrix(pattern.parts[0])
-            for part in pattern.parts[1:]:
-                product = product.multiply(self.matrix(part))
-            return product.tocsr()
-        raise TypeError("unhandled pattern node {!r}".format(pattern))
-
-    def _star(self, pattern):
-        base = self.matrix(pattern.operand)
-        total = self._view.identity()
-        power = base.copy()
-        depth = 1
-        while power.nnz > 0:
-            if depth > self._max_star_depth:
-                raise StarDivergenceError(pattern, self._max_star_depth)
-            total = total + power
-            power = (power @ base).tocsr()
-            depth += 1
-        return total.tocsr()
 
     # ------------------------------------------------------------------
     # Materialization (the paper pre-loads meta-paths up to length 3)
@@ -201,6 +341,11 @@ class CommutingMatrixEngine:
         Mirrors the experimental setting of Section 7.3: "commuting
         matrices of all meta-paths up to size 3 are materialized and
         pre-loaded".  Returns the number of matrices now cached.
+
+        Runs through :meth:`matrices_many`, so longer meta-paths are
+        built from the already-materialized shorter ones (a length-3
+        chain is one sparse product on top of a cached length-2 chain)
+        instead of being recomputed from the leaves.
 
         Raises :class:`~repro.exceptions.EvaluationError` when the
         requested pattern set does not fit under
@@ -226,27 +371,140 @@ class CommutingMatrixEngine:
                         total, sorted(labels), max_length, self._max_cached
                     )
                 )
-        for length in range(1, max_length + 1):
-            for combo in itertools.product(steps, repeat=length):
-                self.matrix(simple_pattern(list(combo)))
+        patterns = [
+            simple_pattern(list(combo))
+            for length in range(1, max_length + 1)
+            for combo in itertools.product(steps, repeat=length)
+        ]
+        self.matrices_many(patterns)
         return len(self._cache)
 
     def cache_size(self):
         return len(self._cache)
 
     def cache_info(self):
-        """``{"matrices", "column_norms", "hits", "misses", "max_cached"}``."""
+        """Cache counters plus memory accounting.
+
+        Keys: ``matrices`` / ``column_norms`` (entry counts), ``hits`` /
+        ``misses``, ``max_cached``, and the size-based pair the LRU cap
+        can be tuned against — ``nnz`` (total stored nonzeros across
+        cached matrices) and ``bytes`` (approximate resident bytes of
+        matrices *and* norm vectors: CSR data + indices + indptr buffers
+        plus norm array buffers).
+        """
+        nnz = 0
+        matrix_bytes = 0
+        for matrix in self._cache.values():
+            nnz += matrix.nnz
+            matrix_bytes += (
+                matrix.data.nbytes
+                + matrix.indices.nbytes
+                + matrix.indptr.nbytes
+            )
+        norm_bytes = sum(
+            norms.nbytes for norms in self._column_norms.values()
+        )
         return {
             "matrices": len(self._cache),
             "column_norms": len(self._column_norms),
             "hits": self._hits,
             "misses": self._misses,
             "max_cached": self._max_cached,
+            "nnz": int(nnz),
+            "bytes": int(matrix_bytes + norm_bytes),
         }
+
+    # ------------------------------------------------------------------
+    # Plan introspection
+    # ------------------------------------------------------------------
+    def _plan_nodes(self, node, acc):
+        """Collect ``node`` and every sub-plan it executes into ``acc``."""
+        if node in acc:
+            return
+        acc.add(node)
+        if node.kind == "chain":
+            self._ensure_ordered(node)
+            self._plan_nodes(node.left, acc)
+            self._plan_nodes(node.right, acc)
+        else:
+            for child in node.children:
+                self._plan_nodes(child, acc)
+
+    def explain(self, patterns):
+        """A human-readable report of the compiled plan for a pattern set.
+
+        For each pattern: its canonical form, the chosen multiplication
+        order (chains print with explicit binary parentheses), and the
+        estimated product nnz / amortized flop cost.  A closing section
+        lists the sub-plans shared by more than one pattern of the set —
+        each is evaluated exactly once.  No product matrices are
+        computed (only leaf adjacencies, for exact nnz counts) — but
+        the plan state is real, not a dry run: the set is compiled and
+        its chain orders are fixed exactly as :meth:`matrices_many`
+        would fix them, and ordering decisions are sticky (first
+        planned wins), so later evaluation of these patterns uses
+        precisely the printed orders, and the set's sub-chains now
+        count toward the sharing statistics that bias future plans.
+        """
+        patterns = list(patterns)
+        plans = [self.compile(pattern) for pattern in patterns]
+        n = self._view.num_nodes()
+        per_pattern = []
+        usage = Counter()
+        for plan in plans:
+            nodes = set()
+            self._plan_nodes(plan, nodes)
+            per_pattern.append(nodes)
+            usage.update(nodes)
+        all_nodes = set().union(*per_pattern) if per_pattern else set()
+        shared = sorted(
+            (node for node, count in usage.items() if count >= 2),
+            key=lambda node: (-usage[node], str(node)),
+        )
+        lines = [
+            "compiled plan: {} pattern{}, {} unique node{}, {} shared".format(
+                len(patterns),
+                "" if len(patterns) == 1 else "s",
+                len(all_nodes),
+                "" if len(all_nodes) == 1 else "s",
+                len(shared),
+            )
+        ]
+        for position, (pattern, plan) in enumerate(
+            zip(patterns, plans), start=1
+        ):
+            lines.append("[{}] pattern:   {}".format(position, pattern))
+            lines.append("    canonical: {}".format(plan))
+            lines.append("    order:     {}".format(render_order(plan)))
+            estimate = estimate_nnz(plan, self._leaf_nnz, n)
+            cost = plan.est_cost if plan.kind == "chain" else None
+            lines.append(
+                "    est nnz ~ {:.0f}{}".format(
+                    estimate,
+                    ""
+                    if cost is None
+                    else ", est cost ~ {:.0f} flops (amortized)".format(cost),
+                )
+            )
+        if shared:
+            lines.append("shared sub-plans (each evaluated once):")
+            for node in shared:
+                lines.append(
+                    "    {}   (in {} patterns, est nnz ~ {:.0f})".format(
+                        node,
+                        usage[node],
+                        estimate_nnz(node, self._leaf_nnz, n),
+                    )
+                )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Scores
     # ------------------------------------------------------------------
+    def query_indices(self, nodes):
+        """Indexer positions for ``nodes`` (see ``MatrixView.query_indices``)."""
+        return self._view.query_indices(nodes)
+
     def count(self, pattern, u, v):
         """``|I^{u,v}(pattern)|`` as a float (exact for realistic sizes)."""
         matrix = self.matrix(pattern)
@@ -280,8 +538,7 @@ class CommutingMatrixEngine:
         single ``matrix[rows, :]`` per pattern.
         """
         matrix = self.matrix(pattern)
-        indices = [self.indexer.index_of(node) for node in nodes]
-        return np.asarray(matrix[indices, :].todense())
+        return matrix[self.query_indices(nodes), :].toarray()
 
     def pathsim_scores_from_many(self, pattern, nodes):
         """PathSim score rows for several queries at once.
@@ -292,8 +549,8 @@ class CommutingMatrixEngine:
         extraction.
         """
         matrix = self.matrix(pattern)
-        indices = [self.indexer.index_of(node) for node in nodes]
-        rows = np.asarray(matrix[indices, :].todense())
+        indices = self.query_indices(nodes)
+        rows = matrix[indices, :].toarray()
         diagonal = matrix.diagonal()
         # denominator[i, v] = M(u_i, u_i) + M(v, v)
         denominator = diagonal[indices][:, None] + diagonal[None, :]

@@ -138,3 +138,100 @@ def _simplify_once(pattern):
 def size(pattern):
     """Total node count of the AST (a simplification progress metric)."""
     return 1 + sum(size(child) for child in pattern.children())
+
+
+# ----------------------------------------------------------------------
+# Canonicalization (the plan compiler's normal form)
+# ----------------------------------------------------------------------
+def canonicalize(pattern):
+    """Rewrite ``pattern`` into the plan compiler's canonical form.
+
+    Unlike :func:`simplify`, every rule here preserves the commuting
+    matrix *exactly* on every database — including multigraphs with
+    parallel same-label edges, where e.g. ``<<a>> -> a`` (a
+    :func:`simplify` rule) would change counts.  The canonical form is
+    what makes equivalent spellings share one engine cache entry:
+
+    * ``Reverse`` is pushed to the leaves through every operator
+      (``(p1.p2)- -> p2-.p1-``, ``(p*)- -> (p-)*``, ``[p]- -> [p]``, ...),
+      so only labels stay reversed;
+    * ``Concat`` is flat with epsilons dropped;
+    * ``Union`` disjuncts are deduplicated with a seen-set over the
+      *raw* disjuncts (the paper sums syntactically distinct disjuncts
+      only, so ``a+a`` collapses but ``a--+a`` stays a sum of two) and
+      sorted — matrix addition commutes, so ``a+b`` and ``b+a`` are the
+      same plan;
+    * ``Conj`` conjuncts are sorted (Hadamard products commute) but
+      duplicates are kept (``p & p`` squares counts);
+    * ``<<<<p>>>> -> <<p>>``, ``<<eps>> -> eps`` and ``[eps] -> eps``
+      (booleanizing twice, and both sides are exactly the identity).
+
+    Idempotent; the result is structurally equal for every pattern with
+    the same commuting-matrix semantics up to these identities.
+    """
+    if not isinstance(pattern, Pattern):
+        raise TypeError(
+            "pattern must be a Pattern AST, got {!r}".format(pattern)
+        )
+    return _canonicalize(pattern, False)
+
+
+def _canonicalize(pattern, reversed_):
+    if isinstance(pattern, Epsilon):
+        return pattern
+    if isinstance(pattern, Label):
+        return Reverse(pattern) if reversed_ else pattern
+    if isinstance(pattern, Reverse):
+        return _canonicalize(pattern.operand, not reversed_)
+    if isinstance(pattern, Concat):
+        parts = pattern.parts[::-1] if reversed_ else pattern.parts
+        canonical = [_canonicalize(part, reversed_) for part in parts]
+        canonical = [
+            part for part in canonical if not isinstance(part, Epsilon)
+        ]
+        return concat(*canonical)
+    if isinstance(pattern, Union):
+        # Dedupe with a seen-set over the *raw* disjuncts — exactly the
+        # engine's M_{p+p} = M_p rule.  Disjuncts that are raw-distinct
+        # but canonically equal (a-- vs a) are deliberately KEPT as
+        # duplicates: the recursive semantics sums them (syntactic
+        # inequality is what the paper's rule tests), so merging them
+        # would change counts.
+        unique = []
+        for part in pattern.parts:
+            if part not in unique:
+                unique.append(part)
+        parts = []
+        for part in unique:
+            canonical = _canonicalize(part, reversed_)
+            if isinstance(canonical, Union):
+                parts.extend(canonical.parts)
+            else:
+                parts.append(canonical)
+        parts.sort(key=str)
+        if len(parts) == 1:
+            return parts[0]
+        return Union(parts)
+    if isinstance(pattern, Conj):
+        parts = sorted(
+            (_canonicalize(part, reversed_) for part in pattern.parts),
+            key=str,
+        )
+        return Conj(parts)
+    if isinstance(pattern, Star):
+        return Star(_canonicalize(pattern.operand, reversed_))
+    if isinstance(pattern, Skip):
+        inner = _canonicalize(pattern.operand, reversed_)
+        while isinstance(inner, Skip):
+            inner = inner.operand
+        if isinstance(inner, Epsilon):
+            return inner
+        return Skip(inner)
+    if isinstance(pattern, Nested):
+        # [p] is diagonal, so its reverse is itself; the operand is
+        # canonicalized unreversed.
+        inner = _canonicalize(pattern.operand, False)
+        if isinstance(inner, Epsilon):
+            return inner
+        return Nested(inner)
+    raise TypeError("unhandled pattern node {!r}".format(pattern))

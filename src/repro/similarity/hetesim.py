@@ -135,14 +135,11 @@ class HeteSim(SimilarityAlgorithm):
         0 (no walk reaches the midpoint from that endpoint).
         """
         queries = list(queries)
-        indexer = self._view.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
+        indices = self._view.query_indices(queries)
         left_rows = self._left[indices, :].tocsr()
         squared = left_rows.multiply(left_rows).sum(axis=1)
         source_norms = np.sqrt(np.asarray(squared).ravel())
-        products = np.asarray((left_rows @ self._right.T).todense())
+        products = (left_rows @ self._right.T).toarray()
         target_norms = self._norms_of_right()
         denominator = source_norms[:, None] * target_norms[None, :]
         scores = np.zeros_like(products)

@@ -40,13 +40,8 @@ class CommonNeighbors(SimilarityAlgorithm):
         single-query product — the batch is a pure speedup.
         """
         queries = list(queries)
-        indexer = self._view.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
-        counts = np.asarray(
-            (self._boolean[indices, :] @ self._boolean).todense()
-        )
+        indices = self._view.query_indices(queries)
+        counts = (self._boolean[indices, :] @ self._boolean).toarray()
         return indices, counts
 
 
@@ -106,11 +101,8 @@ class Katz(SimilarityAlgorithm):
     def score_rows(self, queries):
         """One geometric power series per query, stacked into score rows."""
         queries = list(queries)
-        indexer = self._view.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
-        rows = np.empty((len(queries), len(indexer)))
+        indices = self._view.query_indices(queries)
+        rows = np.empty((len(queries), len(self._view.indexer)))
         for i, index in enumerate(indices):
             rows[i] = self._katz_vector(int(index))
         return indices, rows

@@ -11,8 +11,6 @@ see :mod:`repro.core.relsim`); classic PathSim corresponds to passing a
 simple pattern.
 """
 
-import numpy as np
-
 from repro.exceptions import AsymmetricPatternError
 from repro.lang.ast import Pattern, simple_steps
 from repro.lang.matrix_semantics import CommutingMatrixEngine
@@ -83,10 +81,6 @@ class PathSim(SimilarityAlgorithm):
     def score_rows(self, queries):
         """Batch score rows from one sparse slice of the commuting matrix."""
         queries = list(queries)
-        indexer = self.engine.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
-        return indices, self.engine.pathsim_scores_from_many(
-            self.pattern, queries
+        return self.engine.query_indices(queries), (
+            self.engine.pathsim_scores_from_many(self.pattern, queries)
         )

@@ -62,11 +62,8 @@ class PatternRWR(SimilarityAlgorithm):
     def score_rows(self, queries):
         """One power-iteration solve per query, stacked into score rows."""
         queries = list(queries)
-        indexer = self.engine.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
-        rows = np.empty((len(queries), len(indexer)))
+        indices = self.engine.query_indices(queries)
+        rows = np.empty((len(queries), len(self.engine.indexer)))
         for i, index in enumerate(indices):
             rows[i] = rwr_vector(
                 self._walk,
@@ -113,8 +110,5 @@ class PatternSimRank(SimilarityAlgorithm):
 
     def score_rows(self, queries):
         """Batch score rows from one slice of the precomputed dense matrix."""
-        indexer = self.engine.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
+        indices = self.engine.query_indices(queries)
         return indices, self._scores[indices, :]

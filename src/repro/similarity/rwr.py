@@ -86,11 +86,8 @@ class RWR(SimilarityAlgorithm):
     def score_rows(self, queries):
         """One power-iteration solve per query, stacked into score rows."""
         queries = list(queries)
-        indexer = self._view.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
-        rows = np.empty((len(queries), len(indexer)))
+        indices = self._view.query_indices(queries)
+        rows = np.empty((len(queries), len(self._view.indexer)))
         for i, index in enumerate(indices):
             rows[i] = rwr_vector(
                 self._walk,

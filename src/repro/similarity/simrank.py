@@ -34,7 +34,7 @@ def simrank_matrix(
     transition = column_normalize(adjacency)
     scores = np.identity(n)
     identity = np.identity(n)
-    dense_transition = np.asarray(transition.todense())
+    dense_transition = transition.toarray()
     for _ in range(iterations):
         updated = damping * (
             dense_transition.T @ scores @ dense_transition
@@ -99,8 +99,5 @@ class SimRank(SimilarityAlgorithm):
 
     def score_rows(self, queries):
         """Batch score rows from one slice of the precomputed dense matrix."""
-        indexer = self._view.indexer
-        indices = np.array(
-            [indexer.index_of(query) for query in queries], dtype=np.intp
-        )
+        indices = self._view.query_indices(queries)
         return indices, self._scores[indices, :]

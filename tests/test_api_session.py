@@ -351,6 +351,40 @@ def test_rank_many_chunking_matches_single_batch(fig1):
         assert chunked[query].items() == whole[query].items()
 
 
+def test_session_explain_and_builder_explain(fig1):
+    session = SimilaritySession(fig1)
+    text = session.explain(["(p-in.p-in-)-", "p-in.p-in-"])
+    assert "canonical: p-in.p-in-" in text
+    assert "order:" in text
+    builder = (
+        session.query("DataMining")
+        .using("relsim", pattern=PATTERN)
+        .expand_patterns(max_patterns=8)
+    )
+    report = builder.explain()
+    assert "patterns" in report
+    assert "shared sub-plans" in report
+    with pytest.raises(EvaluationError):
+        session.query("DataMining").using("rwr").explain()
+
+
+def test_session_cache_info_reports_memory(fig1):
+    session = SimilaritySession(fig1)
+    session.algorithm("relsim", pattern=PATTERN).rank("DataMining")
+    info = session.cache_info()
+    assert info["nnz"] > 0
+    assert info["bytes"] > 0
+
+
+def test_session_matrices_many_shares_entries(fig1):
+    session = SimilaritySession(fig1)
+    first = session.matrices_many(["p-in.p-in-", "(p-in.p-in-)-"])
+    info = session.cache_info()
+    second = session.matrices_many(["p-in.p-in-"])
+    assert second[0] is first[0]
+    assert session.cache_info()["misses"] == info["misses"]
+
+
 def test_time_queries_top_k_and_batched(fig1):
     algorithm = RelSim(fig1, PATTERN)
     queries = ["DataMining", "Databases"]

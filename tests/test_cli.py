@@ -200,6 +200,55 @@ def test_transform(dblp_json, tmp_path):
     assert code == 0
 
 
+def test_explain(dblp_json):
+    code, output = run_cli(
+        [
+            "explain",
+            dblp_json,
+            "--pattern",
+            "r-a-.r-a",
+            "--pattern",
+            "(r-a-.r-a)-",
+        ]
+    )
+    assert code == 0
+    assert "canonical: r-a-.r-a" in output
+    assert "order:" in output
+    assert "shared sub-plans" in output
+
+
+def test_explain_expand(dblp_json):
+    code, output = run_cli(
+        [
+            "explain",
+            dblp_json,
+            "--pattern",
+            "r-a-.p-in.p-in-.r-a",
+            "--expand",
+            "--max-expand",
+            "8",
+        ]
+    )
+    assert code == 0
+    assert "8 patterns" in output
+    assert "shared sub-plans" in output
+
+
+def test_explain_expand_rejects_pattern_set(dblp_json):
+    code, _ = run_cli(
+        [
+            "explain",
+            dblp_json,
+            "--pattern",
+            "r-a",
+            "--pattern",
+            "r-a-",
+            "--expand",
+        ]
+    )
+    assert code == 2
+
+
 def test_patterns(dblp_json):
     code, output = run_cli(
         ["patterns", dblp_json, "--pattern", "r-a-.p-in.p-in-.r-a",
