@@ -45,6 +45,21 @@ instead of one extraction per query::
         pattern="p-in-.r-a.r-a-.p-in", top_k=10,
     )
 
+Serve the same query shape many times: prepare once (parse, expand,
+compile, warm), run per node on pinned state — and keep serving through
+live updates with :class:`SimilarityService`'s atomic snapshot swap::
+
+    prepared = session.prepare(
+        algorithm="relsim", pattern="p-in-.r-a.r-a-.p-in", top_k=10)
+    prepared.run("VLDB")
+
+    from repro import SimilarityService
+    service = SimilarityService(db)
+    prepared = service.prepare(
+        algorithm="relsim", pattern="p-in-.r-a.r-a-.p-in", top_k=10)
+    service.apply(edges_added=[("paper:2", "p-in", "VLDB")])
+    prepared.run("VLDB")   # already re-bound to the new snapshot
+
 Direct construction still works (the facade wraps, it doesn't break)::
 
     from repro import RelSim
@@ -60,7 +75,9 @@ Transform a database and carry the pattern across::
 """
 
 from repro.api import (
+    PreparedQuery,
     QueryBuilder,
+    SimilarityService,
     SimilaritySession,
     available_algorithms,
     register_algorithm,
@@ -73,6 +90,7 @@ from repro.exceptions import (
     ConstraintError,
     CyclicPremiseError,
     EvaluationError,
+    NodeTypeConflictError,
     NotInvertibleError,
     PatternSyntaxError,
     RegistryError,
@@ -80,6 +98,7 @@ from repro.exceptions import (
     SchemaError,
     StarDivergenceError,
     TransformationError,
+    UnknownEdgeError,
     UnknownLabelError,
     UnknownNodeError,
 )
@@ -115,11 +134,13 @@ __all__ = [
     "HeteSim",
     "MatrixView",
     "NodeIndexer",
+    "NodeTypeConflictError",
     "NotInvertibleError",
     "PathSim",
     "PatternRWR",
     "PatternSimRank",
     "PatternSyntaxError",
+    "PreparedQuery",
     "QueryBuilder",
     "RWR",
     "Ranking",
@@ -129,10 +150,12 @@ __all__ = [
     "Schema",
     "SchemaError",
     "SimRank",
+    "SimilarityService",
     "SimilaritySession",
     "StarDivergenceError",
     "Tgd",
     "TransformationError",
+    "UnknownEdgeError",
     "UnknownLabelError",
     "UnknownNodeError",
     "available_algorithms",

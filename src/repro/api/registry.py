@@ -26,6 +26,12 @@ from repro.exceptions import RegistryError
 from repro.similarity.base import SimilarityAlgorithm
 
 _REGISTRY = {}
+# Constructor-keyword cache, keyed per *class* so replacing a name with
+# a different class can never serve stale parameters.  Prepared queries
+# and the serving layer construct algorithms far more often than the
+# one-shot API did; running ``inspect.signature`` on every construction
+# shows up on the hot path.
+_PARAMETERS_CACHE = {}
 
 
 def register_algorithm(name, algorithm_class, replace=False):
@@ -50,13 +56,15 @@ def register_algorithm(name, algorithm_class, replace=False):
             )
         )
     key = name.lower()
-    if key in _REGISTRY and not replace:
-        raise RegistryError(
-            "algorithm {!r} is already registered (to {}); pass "
-            "replace=True to overwrite".format(
-                name, _REGISTRY[key].__name__
+    if key in _REGISTRY:
+        if not replace:
+            raise RegistryError(
+                "algorithm {!r} is already registered (to {}); pass "
+                "replace=True to overwrite".format(
+                    name, _REGISTRY[key].__name__
+                )
             )
-        )
+        _PARAMETERS_CACHE.pop(_REGISTRY[key], None)
     _REGISTRY[key] = algorithm_class
     return algorithm_class
 
@@ -64,11 +72,12 @@ def register_algorithm(name, algorithm_class, replace=False):
 def unregister_algorithm(name):
     """Remove a registration (mainly for tests); unknown names error."""
     try:
-        del _REGISTRY[name.lower()]
+        removed = _REGISTRY.pop(name.lower())
     except KeyError:
         raise RegistryError(
             "algorithm {!r} is not registered".format(name)
         ) from None
+    _PARAMETERS_CACHE.pop(removed, None)
 
 
 def available_algorithms():
@@ -93,13 +102,21 @@ def algorithm_parameters(name):
 
     Used by the session to normalize ``pattern``/``patterns`` spellings
     and to skip engine injection for classes that do not accept one.
+    Signatures are inspected once per class and cached (the cache entry
+    is dropped when ``register_algorithm(replace=True)`` or
+    ``unregister_algorithm`` retires the class).
     """
-    signature = inspect.signature(algorithm_class(name).__init__)
-    return [
-        parameter
-        for parameter in signature.parameters
-        if parameter not in ("self", "args", "kwargs")
-    ]
+    cls = algorithm_class(name)
+    cached = _PARAMETERS_CACHE.get(cls)
+    if cached is None:
+        signature = inspect.signature(cls.__init__)
+        cached = tuple(
+            parameter
+            for parameter in signature.parameters
+            if parameter not in ("self", "args", "kwargs")
+        )
+        _PARAMETERS_CACHE[cls] = cached
+    return list(cached)
 
 
 def _register_seed_algorithms():

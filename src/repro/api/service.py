@@ -1,0 +1,246 @@
+"""`SimilarityService` — live-updatable serving over session snapshots.
+
+Sessions (and the matrix views / engines under them) are frozen
+snapshots by design: mutate the database and every cached matrix goes
+stale.  That is the right invariant for correctness but the wrong API
+for serving — a production system must absorb edge churn without
+pausing queries.  The service closes the gap with **atomic snapshot
+swap**:
+
+* the service owns the *current* :class:`~repro.api.session.SimilaritySession`
+  over a private copy of the database (callers can keep mutating their
+  own object without corrupting the snapshot);
+* :meth:`SimilarityService.apply` (edge deltas) and
+  :meth:`SimilarityService.swap` (whole database) rebuild a fresh
+  session off the serving path using :meth:`GraphDatabase.copy` — the
+  old snapshot keeps answering queries the entire time;
+* every outstanding :class:`~repro.api.prepared.PreparedQuery` handed
+  out by :meth:`prepare` is re-bound against the new snapshot (pattern
+  expansion re-run, matrices re-materialized, scoring state re-pinned)
+  *before* anything is published;
+* publication is a handful of reference assignments: in-flight queries
+  finish on the snapshot they started on, new requests see the new one,
+  and :attr:`version` increases monotonically.
+
+Mutations are serialized by an internal lock; queries never take it.
+"""
+
+import threading
+import weakref
+
+from repro.api.session import SimilaritySession
+from repro.similarity.base import SimilarityAlgorithm
+from repro.exceptions import EvaluationError
+
+
+class _Snapshot:
+    """One immutable (session, version) pair; replaced wholesale on swap."""
+
+    __slots__ = ("session", "version")
+
+    def __init__(self, session, version):
+        self.session = session
+        self.version = version
+
+
+class SimilarityService:
+    """Serve similarity queries with live updates and prepared handles.
+
+    Parameters
+    ----------
+    database:
+        The initial :class:`~repro.graph.database.GraphDatabase`.
+        Copied by default (``copy=False`` trusts the caller never to
+        mutate it afterwards).
+    copy:
+        Whether to privately copy ``database`` (default True).
+    **session_options:
+        Forwarded to every :class:`SimilaritySession` the service
+        builds, now and after each swap (``max_star_depth``,
+        ``max_cached_matrices``).
+
+    Usage::
+
+        service = SimilarityService(db)
+        prepared = service.prepare(
+            algorithm="relsim", pattern="p-in.p-in-",
+            expand={"max_patterns": 16}, top_k=10,
+        )
+        prepared.run("proc:0")                    # serves version 1
+        service.apply(edges_added=[("paper:9", "p-in", "proc:0")])
+        prepared.run("proc:0")                    # serves version 2
+    """
+
+    def __init__(self, database, copy=True, **session_options):
+        self._session_options = dict(session_options)
+        snapshot_db = database.copy() if copy else database
+        self._snapshot = _Snapshot(
+            SimilaritySession(snapshot_db, **self._session_options), 1
+        )
+        self._mutate_lock = threading.RLock()
+        self._handles = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version(self):
+        """Monotonically increasing snapshot version (starts at 1)."""
+        return self._snapshot.version
+
+    @property
+    def session(self):
+        """The current serving session (a frozen snapshot)."""
+        return self._snapshot.session
+
+    @property
+    def database(self):
+        """The current snapshot's database (service-private; don't mutate)."""
+        return self._snapshot.session.database
+
+    def prepared_queries(self):
+        """The live prepared handles the service keeps fresh."""
+        with self._mutate_lock:
+            return [
+                handle
+                for handle in (ref() for ref in self._handles)
+                if handle is not None
+            ]
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+    def prepare(self, algorithm="relsim", top_k=None, expand=None, **options):
+        """A :class:`PreparedQuery` the service re-binds on every swap.
+
+        Same signature as :meth:`SimilaritySession.prepare`, except the
+        algorithm must be a registry *name*: re-binding rebuilds the
+        instance on the new snapshot, which a pre-built instance cannot
+        express.  Handles are tracked weakly — drop the reference and
+        the service stops refreshing it.
+        """
+        if isinstance(algorithm, SimilarityAlgorithm):
+            raise EvaluationError(
+                "SimilarityService.prepare needs a registry name; a "
+                "pre-built instance cannot be re-bound on snapshot swap"
+            )
+        with self._mutate_lock:
+            # Under the mutation lock so a concurrent swap cannot slip
+            # between binding against the old session and registering
+            # the handle for future re-binds.
+            prepared = self._snapshot.session.prepare(
+                algorithm=algorithm, top_k=top_k, expand=expand, **options
+            )
+            # Prune dead refs here, not just on swap: a read-mostly
+            # service preparing transient handles would otherwise grow
+            # the list by one dead weakref per request.
+            self._handles = [
+                ref for ref in self._handles if ref() is not None
+            ]
+            self._handles.append(weakref.ref(prepared))
+            return prepared
+
+    def query(self, node):
+        """A one-shot fluent builder on the current snapshot."""
+        return self._snapshot.session.query(node)
+
+    def rank_many(self, queries, algorithm="relsim", top_k=None, **options):
+        """Batch ranking on the current snapshot (see session.rank_many)."""
+        return self._snapshot.session.rank_many(
+            queries, algorithm=algorithm, top_k=top_k, **options
+        )
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def apply(self, edges_added=(), edges_removed=(), wait=True):
+        """Apply an edge delta and swap in the rebuilt snapshot.
+
+        ``edges_added`` / ``edges_removed`` are iterables of
+        ``(source, label, target)`` triples, applied to a
+        :meth:`~repro.graph.database.GraphDatabase.copy` of the current
+        snapshot — removing an absent edge raises
+        :class:`~repro.exceptions.UnknownEdgeError`, and the serving
+        snapshot is untouched until the whole rebuild succeeds.
+
+        Returns the new :attr:`version`.  With ``wait=False`` the
+        rebuild runs on a background thread and the started
+        ``threading.Thread`` is returned instead; after ``join()``,
+        ``thread.version`` holds the new version and ``thread.error``
+        the exception that aborted the rebuild (``None`` on success) —
+        a failed delta never swaps, so callers must check it.  Queries
+        are served from the old snapshot throughout either way.
+        """
+        edges_added = list(edges_added)
+        edges_removed = list(edges_removed)
+        if not wait:
+            return self._in_background(
+                lambda: self.apply(edges_added, edges_removed)
+            )
+        with self._mutate_lock:
+            database = self._snapshot.session.database.copy()
+            for edge in edges_removed:
+                database.remove_edge(*edge)
+            for edge in edges_added:
+                database.add_edge(*edge)
+            return self._swap_locked(database)
+
+    def swap(self, database, wait=True):
+        """Replace the whole database (copied) and swap atomically.
+
+        Returns the new :attr:`version` (or the background
+        ``threading.Thread`` with ``wait=False``).
+        """
+        if not wait:
+            return self._in_background(lambda: self.swap(database))
+        with self._mutate_lock:
+            return self._swap_locked(database.copy())
+
+    @staticmethod
+    def _in_background(target):
+        # The outcome is recorded on the thread object itself: a
+        # background failure must be observable to the caller, not
+        # swallowed into threading.excepthook while the service keeps
+        # serving stale data.
+        def runner():
+            try:
+                thread.version = target()
+            except BaseException as error:
+                # Recorded, not re-raised: thread.error is the caller's
+                # signal; re-raising would only spam threading.excepthook.
+                thread.error = error
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.version = None
+        thread.error = None
+        thread.start()
+        return thread
+
+    def _swap_locked(self, database):
+        session = SimilaritySession(database, **self._session_options)
+        # Phase 1 (slow, off the serving path): rebuild every live
+        # prepared handle against the new session.  Expansion re-runs,
+        # matrices re-materialize, scoring state re-pins — all while
+        # the old snapshot keeps answering queries.
+        rebinds = []
+        surviving = []
+        for ref in self._handles:
+            handle = ref()
+            if handle is None:
+                continue
+            rebinds.append((handle, handle._rebound(session)))
+            surviving.append(ref)
+        self._handles = surviving
+        # Phase 2 (fast): publish.  Each assignment is atomic, so any
+        # in-flight run() holds a complete old bound state and any new
+        # run() picks up a complete new one — never a mixture.
+        for handle, bound in rebinds:
+            handle._swap_bound(bound)
+        self._snapshot = _Snapshot(session, self._snapshot.version + 1)
+        return self._snapshot.version
+
+    def __repr__(self):
+        snapshot = self._snapshot
+        return "SimilarityService(version={}, {!r})".format(
+            snapshot.version, snapshot.session.database
+        )

@@ -8,7 +8,7 @@ owns one shared engine (with an optional bounded LRU over commuting
 matrices and column norms) and every algorithm constructed through it
 reuses those matrices.
 
-Three levels of API, lowest to highest::
+Four levels of API, lowest to highest::
 
     session = SimilaritySession(db)
 
@@ -27,8 +27,20 @@ Three levels of API, lowest to highest::
     #    ranked with array-native top-k selection (score_rows)
     rankings = session.rank_many(queries, algorithm="relsim",
                                  pattern="p-in.p-in-", top_k=10)
+
+    # 4. serving path: prepare once (parse, expand, compile, warm),
+    #    then run per-node on pinned state with near-zero overhead
+    prepared = session.prepare(algorithm="relsim",
+                               pattern="p-in.p-in-",
+                               expand={"max_patterns": 16}, top_k=10)
+    prepared.run("proc:0")
+    prepared.run_many(queries)
+
+The builder and ``rank_many`` are thin adapters over prepare-then-run,
+so all four levels share one execution path.
 """
 
+from repro.api.prepared import PreparedQuery
 from repro.api.registry import algorithm_class, algorithm_parameters
 from repro.exceptions import EvaluationError
 from repro.lang.ast import Pattern
@@ -54,8 +66,15 @@ class SimilaritySession:
         When set, the engine keeps at most this many commuting matrices
         (LRU eviction).  Default: keep everything.
 
-    The session is a *snapshot*, like the engine: mutate the database
-    afterwards and cached matrices go stale — open a new session.
+    The session is a *snapshot*, like the engine: mutating the database
+    afterwards makes cached matrices stale.  For workloads that must
+    absorb mutations while serving, use
+    :class:`~repro.api.service.SimilarityService` — it owns the current
+    session, rebuilds a fresh one off the serving path on
+    ``apply``/``swap``, re-binds outstanding prepared queries, and
+    swaps snapshots atomically.  The session itself is thread-safe for
+    *reads*: the engine, plan compiler, and matrix view are all
+    lock-guarded, so N threads can query one session concurrently.
     """
 
     def __init__(
@@ -203,6 +222,36 @@ class SimilaritySession:
         return options
 
     # ------------------------------------------------------------------
+    # Prepared queries (the serving path)
+    # ------------------------------------------------------------------
+    def prepare(
+        self, algorithm="relsim", top_k=None, expand=None, warm=True,
+        **options
+    ):
+        """Prepare a query shape once; run it per node with no overhead.
+
+        Everything that does not depend on the query node happens now:
+        option normalization, Algorithm-1 expansion (``expand=True`` or
+        a dict of ``constraints``/``use_filters``/``max_patterns``),
+        plan compilation, commuting-matrix materialization, and the
+        pinning of reusable scoring state (diagonals, column norms,
+        candidate index).  The returned
+        :class:`~repro.api.prepared.PreparedQuery` then answers
+        ``run(node)`` / ``run_many(nodes)`` on warm immutable state —
+        results identical to the equivalent one-shot
+        ``session.query(...)`` calls.  ``top_k`` fixes the default
+        answer length.  ``algorithm`` may also be a pre-built instance
+        (options and ``expand`` must then be omitted — and note that
+        warming pins scoring state on that instance).  ``warm=False``
+        binds without pinning anything; the per-call scoring path is
+        kept, with identical results.
+        """
+        return PreparedQuery(
+            self, algorithm=algorithm, top_k=top_k, expand=expand,
+            warm=warm, **options
+        )
+
+    # ------------------------------------------------------------------
     # Fluent single-query builder
     # ------------------------------------------------------------------
     def query(self, node):
@@ -217,23 +266,24 @@ class SimilaritySession:
 
         ``algorithm`` is a registry name (constructed with the shared
         engine and ``options``) or an already-built
-        :class:`SimilarityAlgorithm` instance.  Matrix-backed algorithms
-        score all queries from one sparse row slice per pattern
-        (``score_rows``) and rank through array-native top-k selection —
-        only the ``top_k`` winners are materialized as ``(node, score)``
-        pairs.  Results are identical to looping
+        :class:`SimilarityAlgorithm` instance.  A thin adapter over
+        prepare-then-run: the workload executes exactly like
+        ``session.prepare(...).run_many(queries)``, with matrix-backed
+        algorithms scoring all queries from one sparse row slice per
+        pattern (``score_rows``) and ranking through array-native top-k
+        selection.  Results are identical to looping
         ``algorithm.rank(q, top_k)``.
+
+        Name-constructed algorithms are warmed (the instance is private
+        to this call); a caller-supplied instance is executed as-is —
+        one-shot batching must not pin prepared state (strong matrix
+        references that outlive engine LRU eviction) onto an object the
+        caller keeps.
         """
-        if isinstance(algorithm, SimilarityAlgorithm):
-            if options:
-                raise TypeError(
-                    "options {} are only valid with an algorithm name, "
-                    "not a pre-built instance".format(sorted(options))
-                )
-            instance = algorithm
-        else:
-            instance = self.algorithm(algorithm, **options)
-        return instance.rank_many(list(queries), top_k=top_k)
+        warm = not isinstance(algorithm, SimilarityAlgorithm)
+        return self.prepare(
+            algorithm=algorithm, top_k=top_k, warm=warm, **options
+        ).run_many(queries)
 
 
 class QueryBuilder:
@@ -241,8 +291,16 @@ class QueryBuilder:
 
     Chain :meth:`using` (algorithm + options), optionally
     :meth:`expand_patterns` (the paper's Algorithm 1 usability layer),
-    then finish with :meth:`top`, :meth:`rank` or :meth:`scores`.  The
-    built algorithm is cached, so repeated executions reuse it.
+    then finish with :meth:`top`, :meth:`rank` or :meth:`scores`.
+
+    The builder is a thin adapter over the prepared-query path: it
+    binds a :class:`~repro.api.prepared.PreparedQuery` (without
+    warming — a one-shot query computes exactly what it needs) and
+    executes through it, so fluent and prepared execution share one
+    code path.  The bound algorithm is cached; repeated executions
+    reuse it.  For repeated queries of the same shape, skip the
+    per-call builder entirely: :meth:`prepare` (or
+    :meth:`SimilaritySession.prepare`) pays the preparation bill once.
     """
 
     def __init__(self, session, node):
@@ -251,20 +309,20 @@ class QueryBuilder:
         self._name = "relsim"
         self._options = {}
         self._expand = None
-        self._algorithm = None
+        self._prepared = None
         self._patterns_used = None
 
     def using(self, name, **options):
         """Pick the algorithm by registry name, with constructor options."""
         self._name = name
         self._options = dict(options)
-        self._algorithm = None
+        self._prepared = None
         return self
 
     def answers_of_type(self, answer_type):
         """Restrict answers to one node type (e.g. drugs for diseases)."""
         self._options["answer_type"] = answer_type
-        self._algorithm = None
+        self._prepared = None
         return self
 
     def expand_patterns(
@@ -282,7 +340,7 @@ class QueryBuilder:
             "use_filters": use_filters,
             "max_patterns": max_patterns,
         }
-        self._algorithm = None
+        self._prepared = None
         return self
 
     @property
@@ -293,46 +351,31 @@ class QueryBuilder:
 
     def build(self):
         """Construct (once) and return the underlying algorithm."""
-        if self._algorithm is not None:
-            return self._algorithm
-        options = dict(self._options)
-        if self._expand is not None:
-            from repro.core.relsim import RelSim
-            from repro.patterns.generator import generate_patterns
-
-            if not issubclass(algorithm_class(self._name), RelSim):
-                raise EvaluationError(
-                    "expand_patterns() aggregates a pattern set; only "
-                    "RelSim-style algorithms support it (got {!r})".format(
-                        self._name
-                    )
-                )
-            pattern = options.pop("pattern", None)
-            if pattern is None:
-                pattern = options.pop("patterns", None)
-            if pattern is None:
-                raise EvaluationError(
-                    "expand_patterns() needs the simple input pattern; "
-                    "pass pattern=... to using()"
-                )
-            constraints = self._expand["constraints"]
-            if constraints is None:
-                constraints = self._session.database.schema.constraints
-            generated = generate_patterns(
-                pattern,
-                constraints,
-                use_filters=self._expand["use_filters"],
-                max_patterns=self._expand["max_patterns"],
+        if self._prepared is None:
+            self._prepared = PreparedQuery(
+                self._session,
+                algorithm=self._name,
+                expand=self._expand,
+                warm=False,
+                **self._options
             )
-            options["patterns"] = generated.patterns
-        self._algorithm = self._session.algorithm(self._name, **options)
-        self._patterns_used = list(
-            getattr(self._algorithm, "patterns", None)
-            or ([self._algorithm.pattern]
-                if getattr(self._algorithm, "pattern", None) is not None
-                else [])
+            self._patterns_used = self._prepared.patterns
+        return self._prepared.algorithm
+
+    def prepare(self, top_k=None):
+        """Graduate this builder's spec into a *warm* prepared query.
+
+        Returns a fresh :class:`~repro.api.prepared.PreparedQuery`
+        (scoring state pinned, default ``top_k`` set) ready for
+        ``run``/``run_many`` over any query node — the upgrade path
+        from "try one query fluently" to "serve this shape".
+        """
+        return self._session.prepare(
+            algorithm=self._name,
+            top_k=top_k,
+            expand=self._expand,
+            **self._options
         )
-        return self._algorithm
 
     def explain(self):
         """The compiled plan report for this query's pattern set.
@@ -340,7 +383,8 @@ class QueryBuilder:
         Builds the algorithm (running Algorithm 1 first when
         :meth:`expand_patterns` was requested) and explains the pattern
         set it will score with — canonical forms, multiplication
-        orders, and the sub-plans shared across the set.
+        orders, and the sub-plans shared across the set.  No commuting
+        matrices are computed.
         """
         self.build()
         if not self._patterns_used:
@@ -356,7 +400,8 @@ class QueryBuilder:
 
     def rank(self, top_k=None):
         """The full (or truncated) :class:`Ranking` for the query node."""
-        return self.build().rank(self._node, top_k=top_k)
+        self.build()
+        return self._prepared.run(self._node, top_k=top_k)
 
     def top(self, k=10):
         """The top-``k`` :class:`Ranking` — the usual way to finish.

@@ -8,6 +8,7 @@ Subcommands mirror the research workflow::
     repro query db.json --algorithm rwr --node X         # any registered algo
     repro query db.json --pattern "r-a-.r-a" --node X --expand   # Algorithm 1
     repro explain db.json --pattern "r-a-.r-a" --expand  # compiled plan
+    repro serve-bench db.json --pattern "r-a-.r-a" --expand      # serving
     repro transform db.json --mapping dblp2sigm --out t.json
     repro patterns db.json --pattern "r-a-.r-a"          # Algorithm 1
     repro robustness --dataset dblp --mapping dblp2sigm  # mini Table 1
@@ -20,6 +21,8 @@ Entry points: ``python -m repro.cli ...`` or :func:`main` for tests.
 
 import argparse
 import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.api import (
     SimilaritySession,
@@ -120,6 +123,40 @@ def build_parser():
         "--answer-type", default=None, help="restrict answers to a node type"
     )
 
+    serve = sub.add_parser(
+        "serve-bench",
+        help="prepared-query serving micro-benchmark (per-call vs "
+        "prepared vs threaded)",
+    )
+    serve.add_argument("database")
+    serve.add_argument(
+        "--pattern",
+        default=None,
+        help="RRE pattern (required for pattern-based algorithms)",
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=available_algorithms(),
+        default="relsim",
+    )
+    serve.add_argument("--queries", type=int, default=30)
+    serve.add_argument("--top", type=int, default=10)
+    serve.add_argument("--threads", type=int, default=8)
+    serve.add_argument(
+        "--expand",
+        action="store_true",
+        help="run Algorithm 1 on the simple pattern (RelSim)",
+    )
+    serve.add_argument("--max-expand", type=int, default=16)
+    serve.add_argument(
+        "--scoring", choices=("pathsim", "count", "cosine"), default="pathsim"
+    )
+    serve.add_argument(
+        "--node-type",
+        default=None,
+        help="query node type (default: the most common type)",
+    )
+
     explain = sub.add_parser(
         "explain", help="show the compiled evaluation plan for patterns"
     )
@@ -190,20 +227,19 @@ def _cmd_stats(args, out):
     return 0
 
 
-def _cmd_query(args, out):
-    database = load_json(args.database)
-    session = SimilaritySession(database)
-    parameters = algorithm_parameters(args.algorithm)
+def _algorithm_options(algorithm, pattern, scoring=None, answer_type=None):
+    """Map CLI flags onto the constructor keywords ``algorithm`` takes."""
+    parameters = algorithm_parameters(algorithm)
     takes_pattern = "pattern" in parameters or "patterns" in parameters
-    if takes_pattern and args.pattern is None:
+    if takes_pattern and pattern is None:
         raise EvaluationError(
-            "algorithm {!r} needs --pattern".format(args.algorithm)
+            "algorithm {!r} needs --pattern".format(algorithm)
         )
-    if not takes_pattern and args.pattern is not None:
-        hint = "pattern-{}".format(args.algorithm)
+    if not takes_pattern and pattern is not None:
+        hint = "pattern-{}".format(algorithm)
         raise EvaluationError(
             "algorithm {!r} does not take --pattern{}".format(
-                args.algorithm,
+                algorithm,
                 " (did you mean --algorithm {}?)".format(hint)
                 if hint in available_algorithms()
                 else "",
@@ -211,11 +247,23 @@ def _cmd_query(args, out):
         )
     options = {}
     if takes_pattern:
-        options["pattern"] = parse_pattern(args.pattern)
-    if "scoring" in parameters:
-        options["scoring"] = args.scoring
-    if args.answer_type is not None and "answer_type" in parameters:
-        options["answer_type"] = args.answer_type
+        options["pattern"] = parse_pattern(pattern)
+    if scoring is not None and "scoring" in parameters:
+        options["scoring"] = scoring
+    if answer_type is not None and "answer_type" in parameters:
+        options["answer_type"] = answer_type
+    return options
+
+
+def _cmd_query(args, out):
+    database = load_json(args.database)
+    session = SimilaritySession(database)
+    options = _algorithm_options(
+        args.algorithm,
+        args.pattern,
+        scoring=args.scoring,
+        answer_type=args.answer_type,
+    )
     builder = session.query(args.node).using(args.algorithm, **options)
     if args.expand:
         builder.expand_patterns(max_patterns=args.max_expand)
@@ -257,6 +305,100 @@ def _cmd_explain(args, out):
         patterns = list(generated.patterns)
     print(session.explain(patterns), file=out)
     return 0
+
+
+def _cmd_serve_bench(args, out):
+    database = load_json(args.database)
+    session = SimilaritySession(database)
+    node_type = args.node_type
+    if node_type is None:
+        histogram = {}
+        for node in database.nodes():
+            kind = database.node_type(node)
+            if kind is not None:
+                histogram[kind] = histogram.get(kind, 0) + 1
+        if not histogram:
+            raise EvaluationError(
+                "database has no typed nodes; pass --node-type"
+            )
+        node_type = max(sorted(histogram), key=histogram.get)
+    queries = sample_queries_by_degree(
+        database, node_type, args.queries, seed=0
+    )
+    if not queries:
+        raise EvaluationError(
+            "no nodes of type {!r} to query".format(node_type)
+        )
+    options = _algorithm_options(
+        args.algorithm, args.pattern, scoring=args.scoring
+    )
+    expand = {"max_patterns": args.max_expand} if args.expand else None
+
+    def per_call(node):
+        builder = session.query(node).using(args.algorithm, **options)
+        if expand is not None:
+            builder.expand_patterns(max_patterns=args.max_expand)
+        return builder.top(args.top)
+
+    per_call(queries[0])  # warm matrices so both paths start hot
+    start = time.perf_counter()
+    baseline = {node: per_call(node) for node in queries}
+    per_call_seconds = time.perf_counter() - start
+
+    prepared = session.prepare(
+        algorithm=args.algorithm, top_k=args.top, expand=expand, **options
+    )
+    prepared.run(queries[0])
+    start = time.perf_counter()
+    served = {node: prepared.run(node) for node in queries}
+    prepared_seconds = time.perf_counter() - start
+
+    identical = all(
+        served[node].items() == baseline[node].items() for node in queries
+    )
+
+    with ThreadPoolExecutor(max_workers=args.threads) as pool:
+        start = time.perf_counter()
+        threaded = dict(zip(queries, pool.map(prepared.run, queries)))
+        threaded_seconds = time.perf_counter() - start
+    identical = identical and all(
+        threaded[node].items() == baseline[node].items() for node in queries
+    )
+
+    count = len(queries)
+    print(
+        "serving benchmark: {} x {} queries of type {!r} (top {})".format(
+            args.algorithm, count, node_type, args.top
+        ),
+        file=out,
+    )
+    print(
+        "  per-call session.query : {:8.2f} ms/query".format(
+             1000.0 * per_call_seconds / count
+        ),
+        file=out,
+    )
+    print(
+        "  prepared.run           : {:8.2f} ms/query  ({:.1f}x)".format(
+            1000.0 * prepared_seconds / count,
+            per_call_seconds / max(prepared_seconds, 1e-9),
+        ),
+        file=out,
+    )
+    print(
+        "  {} threads, prepared   : {:8.2f} ms/query wall "
+        "({:.0f} queries/s)".format(
+            args.threads,
+            1000.0 * threaded_seconds / count,
+            count / max(threaded_seconds, 1e-9),
+        ),
+        file=out,
+    )
+    print(
+        "  results identical      : {}".format("yes" if identical else "NO"),
+        file=out,
+    )
+    return 0 if identical else 1
 
 
 def _cmd_transform(args, out):
@@ -361,6 +503,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "query": _cmd_query,
     "explain": _cmd_explain,
+    "serve-bench": _cmd_serve_bench,
     "transform": _cmd_transform,
     "patterns": _cmd_patterns,
     "robustness": _cmd_robustness,

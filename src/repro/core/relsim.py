@@ -22,8 +22,9 @@ nodes, hence equally robust.
 import numpy as np
 
 from repro.exceptions import EvaluationError
+from repro.graph.matrices import dense_rows
 from repro.lang.ast import Pattern
-from repro.lang.matrix_semantics import CommutingMatrixEngine
+from repro.lang.matrix_semantics import CommutingMatrixEngine, pathsim_rows
 from repro.lang.parser import parse_pattern
 from repro.similarity.base import SimilarityAlgorithm
 
@@ -92,6 +93,66 @@ class RelSim(SimilarityAlgorithm):
         self._view = self.engine.view
 
     # ------------------------------------------------------------------
+    # Prepared scoring state
+    # ------------------------------------------------------------------
+    def prepare_scoring(self):
+        """Pin per-pattern scoring state: matrices, diagonals, norms.
+
+        After this, :meth:`score_rows` runs on immutable local state —
+        no plan compilation, no engine cache probing, no per-call
+        ``matrix.diagonal()`` extraction.  When the engine's LRU cap is
+        smaller than the pattern set, pinning every matrix at once would
+        defeat the cap, so only the compile pass runs and the per-call
+        path is kept (same rule as :meth:`score_rows` warming).
+        """
+        if self._prepared_state is not None:
+            return self
+        cap = self.engine.max_cached_matrices
+        if cap is not None and cap < len(self.patterns):
+            for pattern in self.patterns:
+                self.engine.compile(pattern)
+            return self
+        matrices = self.engine.warm(
+            self.patterns, norms=self.scoring == "cosine"
+        )
+        state = []
+        for pattern, matrix in zip(self.patterns, matrices):
+            matrix.sum_duplicates()  # dense_rows needs canonical CSR
+            diagonal = (
+                matrix.diagonal() if self.scoring == "pathsim" else None
+            )
+            norms = (
+                self.engine.column_norms(pattern)
+                if self.scoring == "cosine"
+                else None
+            )
+            state.append((matrix, diagonal, norms))
+        self._prepared_state = tuple(state)
+        return self
+
+    def _prepared_pattern_rows(self, entry, indices, out):
+        """Score rows for one pattern from pinned state (no engine).
+
+        PathSim scoring accumulates straight into ``out`` (sparse-row
+        arithmetic, no per-pattern dense block); the other modes return
+        a dense block for the caller to add.
+        """
+        matrix, diagonal, norms = entry
+        if self.scoring == "pathsim":
+            pathsim_rows(matrix, indices, diagonal, out=out)
+            return None
+        rows = dense_rows(matrix, indices)
+        if self.scoring == "count":
+            return rows
+        # cosine
+        row_norms = np.linalg.norm(rows, axis=1)
+        scores = np.zeros_like(rows)
+        defined = (row_norms[:, None] > 0) & (norms[None, :] > 0)
+        denominator = row_norms[:, None] * norms[None, :]
+        scores[defined] = rows[defined] / denominator[defined]
+        return scores
+
+    # ------------------------------------------------------------------
     def _pattern_rows(self, pattern, queries):
         """``(len(queries), n)`` score rows for one pattern.
 
@@ -131,13 +192,22 @@ class RelSim(SimilarityAlgorithm):
         """
         queries = list(queries)
         indices = self.engine.query_indices(queries)
+        state = self._prepared_state
+        total = np.zeros((len(queries), len(self.engine.indexer)))
+        if state is not None:
+            # Prepared hot path: every matrix/diagonal/norm is pinned,
+            # so a call is pure slicing and arithmetic.
+            for entry in state:
+                block = self._prepared_pattern_rows(entry, indices, total)
+                if block is not None:
+                    total += block
+            return indices, total
         cap = self.engine.max_cached_matrices
         if cap is None or cap >= len(self.patterns):
             self.engine.matrices_many(self.patterns)
         else:
             for pattern in self.patterns:
                 self.engine.compile(pattern)
-        total = np.zeros((len(queries), len(self.engine.indexer)))
         for pattern in self.patterns:
             total += self._pattern_rows(pattern, queries)
         return indices, total

@@ -34,6 +34,45 @@ class UnknownNodeError(ReproError):
         super().__init__("unknown node id {!r}".format(node))
 
 
+class UnknownEdgeError(ReproError, KeyError):
+    """``remove_edge`` targeted an edge the database does not contain.
+
+    Subclasses :class:`KeyError` for compatibility with callers that
+    guarded the old bare ``KeyError``, while joining the library
+    hierarchy so programmatic mutation (``SimilarityService.apply``)
+    can report it like every other library failure.
+    """
+
+    def __init__(self, source, label, target):
+        self.edge = (source, label, target)
+        ReproError.__init__(
+            self,
+            "unknown edge ({!r}, {!r}, {!r})".format(source, label, target),
+        )
+
+    # KeyError.__str__ repr-quotes the message; use the plain one.
+    __str__ = ReproError.__str__
+
+
+class NodeTypeConflictError(ReproError):
+    """``add_node`` tried to re-type an already-typed node.
+
+    A node's type may be set once (``None`` -> type is fine, and
+    re-adding with the same type is idempotent); silently keeping the
+    old type under a *different* requested one would corrupt typed
+    candidate sets when graphs are mutated programmatically.
+    """
+
+    def __init__(self, node, existing_type, requested_type):
+        self.node = node
+        self.existing_type = existing_type
+        self.requested_type = requested_type
+        super().__init__(
+            "node {!r} already has type {!r}; refusing to re-type it as "
+            "{!r}".format(node, existing_type, requested_type)
+        )
+
+
 class PatternSyntaxError(ReproError):
     """The RRE/RPQ parser rejected the input string."""
 

@@ -19,7 +19,12 @@ Design notes
 
 from collections import defaultdict
 
-from repro.exceptions import UnknownLabelError, UnknownNodeError
+from repro.exceptions import (
+    NodeTypeConflictError,
+    UnknownEdgeError,
+    UnknownLabelError,
+    UnknownNodeError,
+)
 
 
 class GraphDatabase:
@@ -48,11 +53,22 @@ class GraphDatabase:
         return self._schema
 
     def add_node(self, node, node_type=None):
-        """Add ``node`` (idempotent).  Returns the node id for chaining."""
+        """Add ``node`` (idempotent).  Returns the node id for chaining.
+
+        A node's type may be set once: re-adding with ``None`` or with
+        the same type is a no-op, upgrading an untyped node to a type is
+        allowed, but a *conflicting* non-None type raises
+        :class:`~repro.exceptions.NodeTypeConflictError` instead of
+        silently keeping the old type.
+        """
         if node not in self._nodes:
             self._nodes[node] = node_type
-        elif node_type is not None and self._nodes[node] is None:
-            self._nodes[node] = node_type
+        elif node_type is not None:
+            existing = self._nodes[node]
+            if existing is None:
+                self._nodes[node] = node_type
+            elif existing != node_type:
+                raise NodeTypeConflictError(node, existing, node_type)
         return node
 
     def add_edge(self, source, label, target):
@@ -73,10 +89,15 @@ class GraphDatabase:
             self.add_edge(source, label, target)
 
     def remove_edge(self, source, label, target):
-        """Remove an edge; raises ``KeyError`` if it is absent."""
+        """Remove an edge.
+
+        Raises :class:`~repro.exceptions.UnknownEdgeError` (a
+        ``KeyError`` subclass, so existing guards keep working) when the
+        edge is absent.
+        """
         targets = self._out[label].get(source)
         if not targets or target not in targets:
-            raise KeyError((source, label, target))
+            raise UnknownEdgeError(source, label, target)
         targets.discard(target)
         if not targets:
             del self._out[label][source]

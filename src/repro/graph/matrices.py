@@ -11,6 +11,8 @@ long as they stay below 2**53, which vastly exceeds anything a realistic
 pattern produces.
 """
 
+import threading
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -61,12 +63,20 @@ class MatrixView:
         entries directly comparable).
 
     The view is a *snapshot*: mutate the database afterwards and the cached
-    matrices go stale.  Build a fresh view after mutation.
+    matrices go stale.  Build a fresh view after mutation (or serve through
+    :class:`~repro.api.service.SimilarityService`, which swaps snapshots
+    for you).
+
+    The view is thread-safe: the adjacency and candidate-index caches are
+    lock-guarded with double-checked access (matrices are built outside
+    the lock and published under it), so any number of threads can score
+    against one shared view.
     """
 
     def __init__(self, database, indexer=None):
         self._database = database
         self._indexer = indexer or NodeIndexer(database.nodes())
+        self._lock = threading.RLock()
         self._cache = {}
         self._candidates = {}
         self._candidate_node_count = database.num_nodes()
@@ -84,9 +94,17 @@ class MatrixView:
 
     def adjacency(self, label):
         """The CSR adjacency matrix ``A_label`` (entries are 0/1 counts)."""
-        if label not in self._cache:
-            self._cache[label] = self._build(label)
-        return self._cache[label]
+        matrix = self._cache.get(label)
+        if matrix is None:
+            # Build outside the lock (edge iteration can be slow), then
+            # publish under it; a concurrent duplicate build loses the
+            # race and every caller gets the one published matrix.
+            built = self._build(label)
+            with self._lock:
+                matrix = self._cache.get(label)
+                if matrix is None:
+                    matrix = self._cache.setdefault(label, built)
+        return matrix
 
     def _build(self, label):
         self._database.schema.require_label(label)
@@ -124,23 +142,24 @@ class MatrixView:
         retyping an existing node — follow the view's general snapshot
         rule: build a fresh view after mutating.
         """
-        if self._database.num_nodes() != self._candidate_node_count:
-            self._candidates.clear()
-            self._candidate_node_count = self._database.num_nodes()
-        key = ("type", node_type) if node_type is not None else ("all",)
-        cached = self._candidates.get(key)
-        if cached is None:
-            if node_type is None:
-                eligible = list(self._database.nodes())
-            else:
-                eligible = self._database.nodes_of_type(node_type)
-            eligible.sort(key=str)
-            columns = np.array(
-                [self._indexer.index_of(node) for node in eligible],
-                dtype=np.intp,
-            )
-            cached = (eligible, columns)
-            self._candidates[key] = cached
+        with self._lock:
+            if self._database.num_nodes() != self._candidate_node_count:
+                self._candidates.clear()
+                self._candidate_node_count = self._database.num_nodes()
+            key = ("type", node_type) if node_type is not None else ("all",)
+            cached = self._candidates.get(key)
+            if cached is None:
+                if node_type is None:
+                    eligible = list(self._database.nodes())
+                else:
+                    eligible = self._database.nodes_of_type(node_type)
+                eligible.sort(key=str)
+                columns = np.array(
+                    [self._indexer.index_of(node) for node in eligible],
+                    dtype=np.intp,
+                )
+                cached = (eligible, columns)
+                self._candidates[key] = cached
         return cached
 
     def query_indices(self, nodes):
@@ -184,6 +203,28 @@ class MatrixView:
         if symmetric:
             total = total + total.T
         return total.tocsr()
+
+
+def dense_rows(matrix, indices):
+    """``matrix[indices, :].toarray()`` via direct CSR buffer reads.
+
+    SciPy's fancy-index row slice builds an intermediate CSR (index
+    validation, dtype upcasting checks, format checks) before
+    densifying; on the serving hot path that overhead dwarfs the actual
+    copy.  Reading ``indptr``/``indices``/``data`` directly is an order
+    of magnitude faster for the small row counts a query batch slices.
+
+    ``matrix`` must be a canonical CSR (no duplicate entries —
+    everything the engine caches is; call ``sum_duplicates()`` first
+    otherwise, as duplicates would overwrite instead of summing here).
+    """
+    n = matrix.shape[1]
+    rows = np.zeros((len(indices), n), dtype=matrix.dtype)
+    indptr, columns, data = matrix.indptr, matrix.indices, matrix.data
+    for i, row in enumerate(indices):
+        start, end = indptr[row], indptr[row + 1]
+        rows[i, columns[start:end]] = data[start:end]
+    return rows
 
 
 def boolean(matrix):

@@ -33,12 +33,13 @@ benchmarked against.
 """
 
 import itertools
+import threading
 from collections import Counter, OrderedDict
 
 import numpy as np
 
 from repro.exceptions import EvaluationError, StarDivergenceError
-from repro.graph.matrices import MatrixView, boolean, diagonal_of
+from repro.graph.matrices import MatrixView, boolean, dense_rows, diagonal_of
 from repro.lang.ast import (
     Concat,
     Conj,
@@ -72,6 +73,43 @@ def _star_sum(identity, base, max_depth, origin):
         power = (power @ base).tocsr()
         depth += 1
     return total.tocsr()
+
+
+def pathsim_rows(matrix, indices, diagonal=None, out=None):
+    """PathSim score rows for the given indexer ``indices``.
+
+    ``scores[i, v] = 2 M[indices[i], v] / (M[indices[i], indices[i]] +
+    M[v, v])`` with 0 where the denominator vanishes — Equation 1 over
+    one sparse row slice.  A score can only be nonzero where the row
+    itself is, so the arithmetic touches each row's stored entries
+    instead of all ``n`` columns (the serving hot path runs this per
+    pattern per request).  Pass a precomputed ``diagonal`` to skip
+    re-extracting it on every call; ``matrix`` must be canonical CSR.
+
+    With ``out`` (a ``(len(indices), n)`` float array), scores are
+    *added* into it and ``out`` is returned — the accumulator form
+    RelSim uses to sum a 16-pattern expansion without allocating a
+    dense block per pattern.
+    """
+    if diagonal is None:
+        diagonal = matrix.diagonal()
+    scores = out
+    if scores is None:
+        scores = np.zeros((len(indices), matrix.shape[1]))
+    indptr, columns, data = matrix.indptr, matrix.indices, matrix.data
+    for i, row in enumerate(indices):
+        start, end = indptr[row], indptr[row + 1]
+        cols = columns[start:end]
+        denominator = diagonal[row] + diagonal[cols]
+        positive = denominator > 0
+        if not positive.all():
+            cols = cols[positive]
+            denominator = denominator[positive]
+            values = data[start:end][positive]
+        else:
+            values = data[start:end]
+        scores[i, cols] += 2.0 * values / denominator
+    return scores
 
 
 def naive_matrix(view, pattern, max_star_depth=None, cache=None):
@@ -169,6 +207,14 @@ class CommutingMatrixEngine:
     sub-chain shared across patterns is computed once.  (Plan nodes and
     the pattern->plan memo are retained for the engine's lifetime; they
     are a few hundred bytes each, negligible next to one matrix.)
+
+    The engine is thread-safe: the matrix and column-norm LRUs are
+    lock-guarded with double-checked access — products are computed
+    *outside* the lock and published under it, so N serving threads
+    share one engine without serializing on sparse multiplications (a
+    concurrent duplicate computation loses the publish race and adopts
+    the winner's matrix).  The plan compiler carries its own lock for
+    the interning tables and chain-ordering decisions.
     """
 
     def __init__(
@@ -189,6 +235,7 @@ class CommutingMatrixEngine:
         self._max_star_depth = max_star_depth
         self._max_cached = max_cached_matrices
         self._compiler = PlanCompiler()
+        self._lock = threading.RLock()
         self._cache = OrderedDict()
         self._column_norms = OrderedDict()
         self._hits = 0
@@ -239,17 +286,46 @@ class CommutingMatrixEngine:
         plans = [self.compile(pattern) for pattern in patterns]
         return [self._plan_matrix(plan) for plan in plans]
 
+    def warm(self, patterns, norms=False):
+        """Materialize a pattern set now (the serving warm-set entry).
+
+        Runs the whole set through :meth:`matrices_many` (batch compile,
+        then execute with full sharing statistics) and, when ``norms``
+        is True, also computes the cosine column norms for each pattern.
+        Returns the matrices in input order.  Prepared queries call this
+        so their hot path starts from pure cache hits.
+        """
+        patterns = list(patterns)
+        matrices = self.matrices_many(patterns)
+        if norms:
+            for pattern in patterns:
+                self.column_norms(pattern)
+        return matrices
+
     def _plan_matrix(self, node):
-        cached = self._cache.get(node)
-        if cached is None:
+        # Double-checked LRU access: look up under the lock, compute
+        # outside it (sparse products can take seconds; holding the lock
+        # would serialize every serving thread), publish under it.  Two
+        # threads racing on a cold entry may both compute; the loser
+        # adopts the published matrix, so callers always share one
+        # object per plan node.
+        with self._lock:
+            cached = self._cache.get(node)
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(node)
+                return cached
+        computed = self._execute(node)
+        with self._lock:
+            cached = self._cache.get(node)
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(node)
+                return cached
             self._misses += 1
-            cached = self._execute(node)
-            self._cache[node] = cached
+            self._cache[node] = computed
             self._evict()
-        else:
-            self._hits += 1
-            self._cache.move_to_end(node)
-        return cached
+        return computed
 
     def _execute(self, node):
         kind = node.kind
@@ -316,21 +392,30 @@ class CommutingMatrixEngine:
         cache.
         """
         plan = self.compile(pattern)
-        norms = self._column_norms.get(plan)
-        if norms is None:
-            matrix = self._plan_matrix(plan)
-            squared = matrix.multiply(matrix).sum(axis=0)
-            norms = np.sqrt(np.asarray(squared).ravel())
-            self._column_norms[plan] = norms
+        with self._lock:
+            norms = self._column_norms.get(plan)
+            if norms is not None:
+                self._refresh_norms_locked(plan)
+                return norms
+        matrix = self._plan_matrix(plan)
+        squared = matrix.multiply(matrix).sum(axis=0)
+        computed = np.sqrt(np.asarray(squared).ravel())
+        with self._lock:
+            norms = self._column_norms.get(plan)
+            if norms is not None:
+                self._refresh_norms_locked(plan)
+                return norms
+            self._column_norms[plan] = computed
             self._evict()
-        else:
-            self._column_norms.move_to_end(plan)
-            # A norms hit is a use of the pattern's matrix too: refresh
-            # its LRU slot so a hot pattern's matrix is not evicted out
-            # from under its surviving norms.
-            if plan in self._cache:
-                self._cache.move_to_end(plan)
-        return norms
+        return computed
+
+    def _refresh_norms_locked(self, plan):
+        self._column_norms.move_to_end(plan)
+        # A norms hit is a use of the pattern's matrix too: refresh
+        # its LRU slot so a hot pattern's matrix is not evicted out
+        # from under its surviving norms.
+        if plan in self._cache:
+            self._cache.move_to_end(plan)
 
     # ------------------------------------------------------------------
     # Materialization (the paper pre-loads meta-paths up to length 3)
@@ -377,10 +462,12 @@ class CommutingMatrixEngine:
             for combo in itertools.product(steps, repeat=length)
         ]
         self.matrices_many(patterns)
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def cache_size(self):
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def cache_info(self):
         """Cache counters plus memory accounting.
@@ -392,23 +479,25 @@ class CommutingMatrixEngine:
         matrices *and* norm vectors: CSR data + indices + indptr buffers
         plus norm array buffers).
         """
+        with self._lock:
+            matrices = list(self._cache.values())
+            norm_vectors = list(self._column_norms.values())
+            hits, misses = self._hits, self._misses
         nnz = 0
         matrix_bytes = 0
-        for matrix in self._cache.values():
+        for matrix in matrices:
             nnz += matrix.nnz
             matrix_bytes += (
                 matrix.data.nbytes
                 + matrix.indices.nbytes
                 + matrix.indptr.nbytes
             )
-        norm_bytes = sum(
-            norms.nbytes for norms in self._column_norms.values()
-        )
+        norm_bytes = sum(norms.nbytes for norms in norm_vectors)
         return {
-            "matrices": len(self._cache),
-            "column_norms": len(self._column_norms),
-            "hits": self._hits,
-            "misses": self._misses,
+            "matrices": len(matrices),
+            "column_norms": len(norm_vectors),
+            "hits": hits,
+            "misses": misses,
             "max_cached": self._max_cached,
             "nnz": int(nnz),
             "bytes": int(matrix_bytes + norm_bytes),
@@ -538,7 +627,7 @@ class CommutingMatrixEngine:
         single ``matrix[rows, :]`` per pattern.
         """
         matrix = self.matrix(pattern)
-        return matrix[self.query_indices(nodes), :].toarray()
+        return dense_rows(matrix, self.query_indices(nodes))
 
     def pathsim_scores_from_many(self, pattern, nodes):
         """PathSim score rows for several queries at once.
@@ -548,13 +637,4 @@ class CommutingMatrixEngine:
         sparse row slice plus the diagonal instead of per-query
         extraction.
         """
-        matrix = self.matrix(pattern)
-        indices = self.query_indices(nodes)
-        rows = matrix[indices, :].toarray()
-        diagonal = matrix.diagonal()
-        # denominator[i, v] = M(u_i, u_i) + M(v, v)
-        denominator = diagonal[indices][:, None] + diagonal[None, :]
-        scores = np.zeros_like(rows)
-        positive = denominator > 0
-        scores[positive] = 2.0 * rows[positive] / denominator[positive]
-        return scores
+        return pathsim_rows(self.matrix(pattern), self.query_indices(nodes))

@@ -34,6 +34,7 @@ syntax.  This module is pure structure — matrices never enter it; the
 engine (:mod:`repro.lang.matrix_semantics`) executes plans.
 """
 
+import threading
 from collections import Counter
 
 from repro.lang.ast import (
@@ -179,12 +180,18 @@ class PlanCompiler:
     singletons carry no sharing signal yet, only the potential to
     become one later, so pruning them merely forgets a heuristic
     discount.
+
+    The compiler is thread-safe: the interning tables, the
+    pattern->plan memo, the sub-chain counters, and the chain-ordering
+    mutation of plan nodes are all guarded by one reentrant ``lock``,
+    so N serving threads can compile against one engine concurrently.
     """
 
     _MAX_PATTERN_MEMO = 50_000
     _MAX_SUBCHAIN_ENTRIES = 200_000
 
     def __init__(self):
+        self.lock = threading.RLock()
         self._interned = {}
         self._by_pattern = {}
         self._next_uid = 0
@@ -196,13 +203,14 @@ class PlanCompiler:
 
     def _intern(self, kind, payload, children):
         key = (kind, payload, tuple(child.uid for child in children))
-        node = self._interned.get(key)
-        if node is None:
-            node = PlanNode(kind, payload, tuple(children), self._next_uid)
-            self._next_uid += 1
-            self._interned[key] = node
-            if kind == "chain":
-                self._count_subchains(node)
+        with self.lock:
+            node = self._interned.get(key)
+            if node is None:
+                node = PlanNode(kind, payload, tuple(children), self._next_uid)
+                self._next_uid += 1
+                self._interned[key] = node
+                if kind == "chain":
+                    self._count_subchains(node)
         return node
 
     def _count_subchains(self, node):
@@ -239,12 +247,13 @@ class PlanCompiler:
             raise TypeError(
                 "pattern must be a Pattern AST, got {!r}".format(pattern)
             )
-        node = self._by_pattern.get(pattern)
-        if node is None:
-            if len(self._by_pattern) >= self._MAX_PATTERN_MEMO:
-                self._by_pattern.clear()
-            node = self._node_of(canonicalize(pattern))
-            self._by_pattern[pattern] = node
+        with self.lock:
+            node = self._by_pattern.get(pattern)
+            if node is None:
+                if len(self._by_pattern) >= self._MAX_PATTERN_MEMO:
+                    self._by_pattern.clear()
+                node = self._node_of(canonicalize(pattern))
+                self._by_pattern[pattern] = node
         return node
 
     def compile_many(self, patterns):
@@ -378,8 +387,14 @@ def order_chain(node, leaf_nnz, n, compiler):
     ``left``, ``right``) and recursively on every interned sub-chain;
     a sub-chain that was already ordered (e.g. as another pattern's
     chain) keeps its earlier decision, so cached intermediates stay
-    valid.  Idempotent.
+    valid.  Idempotent, and serialized under the compiler's lock so
+    concurrent serving threads never observe a half-recorded split.
     """
+    with compiler.lock:
+        _order_chain_locked(node, leaf_nnz, n, compiler)
+
+
+def _order_chain_locked(node, leaf_nnz, n, compiler):
     if node.split_at is not None:
         return
     factors = node.children

@@ -36,7 +36,17 @@ equivalence testing and benchmarking.
 Candidates absent from the algorithm's snapshot indexer raise
 :class:`~repro.exceptions.UnknownNodeError` uniformly — scoring a node
 the snapshot does not cover is an error, not a zero score.  (Open a new
-session/view after mutating the database.)
+session/view after mutating the database, or serve through
+:class:`~repro.api.service.SimilarityService`, which swaps snapshots.)
+
+Prepared scoring state
+----------------------
+:meth:`SimilarityAlgorithm.prepare_scoring` pins whatever per-instance
+state scoring would otherwise recompute or re-fetch per call (commuting
+matrices, diagonals, column norms); once pinned the state is immutable,
+which is what makes a prepared hot path safe to share across serving
+threads.  :class:`~repro.api.prepared.PreparedQuery` calls it during
+preparation.
 """
 
 import numpy as np
@@ -146,10 +156,38 @@ class SimilarityAlgorithm:
         #: The MatrixView backing :meth:`score_rows`; array-native
         #: subclasses assign it at construction.
         self._view = None
+        #: Reusable precomputed scoring state pinned by
+        #: :meth:`prepare_scoring`; ``None`` until prepared.  Subclasses
+        #: define its shape; once set it is treated as immutable, which
+        #: is what makes a prepared hot path safe to share across
+        #: threads.
+        self._prepared_state = None
 
     @property
     def database(self):
         return self._database
+
+    # ------------------------------------------------------------------
+    # Prepared scoring state
+    # ------------------------------------------------------------------
+    def prepare_scoring(self):
+        """Precompute and pin reusable scoring state (idempotent).
+
+        Called once by :class:`~repro.api.prepared.PreparedQuery` so
+        that every subsequent :meth:`rank`/:meth:`rank_many` call runs
+        on warm, immutable state — no pattern compilation, no cache
+        probing, no per-call recomputation of diagonals or norms.
+        Subclasses with per-pattern state override this; algorithms
+        that already precompute everything at construction (SimRank's
+        dense solve, RWR's walk matrix, ...) inherit the no-op.
+        Returns ``self`` for chaining.
+        """
+        return self
+
+    @property
+    def is_prepared(self):
+        """True once :meth:`prepare_scoring` has pinned scoring state."""
+        return self._prepared_state is not None
 
     def candidates(self, query):
         """Nodes eligible as answers for ``query`` (never the query).

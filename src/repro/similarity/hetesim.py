@@ -125,6 +125,12 @@ class HeteSim(SimilarityAlgorithm):
             self._target_norms = np.sqrt(np.asarray(squared).ravel())
         return self._target_norms
 
+    def prepare_scoring(self):
+        """Warm the target-norm vector (the halves are built at init)."""
+        if self._prepared_state is None:
+            self._prepared_state = self._norms_of_right()
+        return self
+
     def score_rows(self, queries):
         """Batch score rows via one left-row slice and one sparse product.
 

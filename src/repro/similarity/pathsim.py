@@ -13,7 +13,7 @@ simple pattern.
 
 from repro.exceptions import AsymmetricPatternError
 from repro.lang.ast import Pattern, simple_steps
-from repro.lang.matrix_semantics import CommutingMatrixEngine
+from repro.lang.matrix_semantics import CommutingMatrixEngine, pathsim_rows
 from repro.lang.parser import parse_pattern
 from repro.similarity.base import SimilarityAlgorithm
 
@@ -78,9 +78,22 @@ class PathSim(SimilarityAlgorithm):
         self.engine = engine or CommutingMatrixEngine(database)
         self._view = self.engine.view
 
+    def prepare_scoring(self):
+        """Pin the commuting matrix and its diagonal (idempotent)."""
+        if self._prepared_state is None:
+            matrix = self.engine.matrix(self.pattern)
+            matrix.sum_duplicates()  # dense_rows needs canonical CSR
+            self._prepared_state = (matrix, matrix.diagonal())
+        return self
+
     def score_rows(self, queries):
         """Batch score rows from one sparse slice of the commuting matrix."""
         queries = list(queries)
-        return self.engine.query_indices(queries), (
-            self.engine.pathsim_scores_from_many(self.pattern, queries)
+        indices = self.engine.query_indices(queries)
+        state = self._prepared_state
+        if state is not None:
+            matrix, diagonal = state
+            return indices, pathsim_rows(matrix, indices, diagonal)
+        return indices, self.engine.pathsim_scores_from_many(
+            self.pattern, queries
         )

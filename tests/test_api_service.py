@@ -1,0 +1,309 @@
+"""Tests for SimilarityService: live updates, concurrency, freshness."""
+
+import threading
+
+import pytest
+
+from repro.api import SimilarityService, SimilaritySession
+from repro.datasets import figure1_dblp
+from repro.exceptions import (
+    EvaluationError,
+    NodeTypeConflictError,
+    UnknownEdgeError,
+)
+from repro.lang import parse_pattern
+
+PATTERN = "r-a-.p-in.p-in-.r-a"
+QUERIES = ("DataMining", "Databases", "SoftwareEngineering")
+
+# Adding this edge gives SoftwareEngineering a VLDB paper, which
+# reshapes every area-to-area ranking under PATTERN.
+DELTA_EDGE = ("CodeMining", "p-in", "VLDB")
+
+
+def _expected(database, top_k=10):
+    session = SimilaritySession(database)
+    prepared = session.prepare(
+        algorithm="relsim", pattern=PATTERN, top_k=top_k
+    )
+    return {query: prepared.run(query).items() for query in QUERIES}
+
+
+# ----------------------------------------------------------------------
+# Basics
+# ----------------------------------------------------------------------
+def test_service_versions_and_snapshot_copy(fig1):
+    service = SimilarityService(fig1)
+    assert service.version == 1
+    assert service.database is not fig1
+    assert service.database.same_content(fig1)
+    # Mutating the caller's database never touches the snapshot.
+    fig1.add_edge("LeakMining", "p-in", "SIGKDD")
+    assert not service.database.has_node("LeakMining")
+
+
+def test_service_prepare_and_run(fig1):
+    service = SimilarityService(fig1)
+    prepared = service.prepare(
+        algorithm="relsim", pattern=PATTERN, top_k=10
+    )
+    for query, items in _expected(fig1).items():
+        assert prepared.run(query).items() == items
+    assert service.prepared_queries() == [prepared]
+
+
+def test_service_query_and_rank_many_passthrough(fig1):
+    service = SimilarityService(fig1)
+    fluent = service.query("DataMining").using(
+        "relsim", pattern=PATTERN
+    ).top(5)
+    batch = service.rank_many(
+        ["DataMining"], algorithm="relsim", pattern=PATTERN, top_k=5
+    )
+    assert fluent.items() == batch["DataMining"].items()
+
+
+def test_service_rejects_instance_prepare(fig1):
+    service = SimilarityService(fig1)
+    instance = service.session.algorithm("relsim", pattern=PATTERN)
+    with pytest.raises(EvaluationError):
+        service.prepare(algorithm=instance)
+
+
+# ----------------------------------------------------------------------
+# Live updates
+# ----------------------------------------------------------------------
+def test_apply_rebinds_prepared_queries(fig1):
+    service = SimilarityService(fig1)
+    prepared = service.prepare(
+        algorithm="relsim", pattern=PATTERN, top_k=10
+    )
+    before = {q: prepared.run(q).items() for q in QUERIES}
+
+    version = service.apply(edges_added=[DELTA_EDGE])
+    assert version == 2
+    assert service.version == 2
+    assert service.database.has_edge(*DELTA_EDGE)
+
+    mutated = fig1.copy()
+    mutated.add_edge(*DELTA_EDGE)
+    expected = _expected(mutated)
+    after = {q: prepared.run(q).items() for q in QUERIES}
+    assert after == expected
+    assert after != before  # the delta was chosen to change rankings
+
+
+def test_apply_removal_and_unknown_edge(fig1):
+    service = SimilarityService(fig1)
+    edge = ("CodeMining", "p-in", "SIGKDD")
+    service.apply(edges_removed=[edge])
+    assert not service.database.has_edge(*edge)
+    with pytest.raises(UnknownEdgeError):
+        service.apply(edges_removed=[("ghost", "r-a", "nowhere")])
+    # A failed apply must not have swapped or bumped the version.
+    assert service.version == 2
+
+
+def test_swap_whole_database(fig1):
+    service = SimilarityService(fig1)
+    prepared = service.prepare(
+        algorithm="relsim", pattern=PATTERN, top_k=5
+    )
+    replacement = figure1_dblp()
+    replacement.add_edge("ExtraMining", "r-a", "SoftwareEngineering")
+    replacement.add_edge("ExtraMining", "p-in", "VLDB")
+    version = service.swap(replacement)
+    assert version == 2
+    assert service.database.has_node("ExtraMining")
+    # The service copied: mutating the caller's replacement afterwards
+    # does not leak into the serving snapshot.
+    replacement.add_edge("LaterMining", "p-in", "VLDB")
+    assert not service.database.has_node("LaterMining")
+    expected = _expected(service.database, top_k=5)
+    for query, items in expected.items():
+        assert prepared.run(query).items() == items
+
+
+def test_apply_background_thread(fig1):
+    service = SimilarityService(fig1)
+    thread = service.apply(edges_added=[DELTA_EDGE], wait=False)
+    assert isinstance(thread, threading.Thread)
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert service.version == 2
+    assert service.database.has_edge(*DELTA_EDGE)
+
+
+def test_apply_background_failure_is_observable(fig1):
+    service = SimilarityService(fig1)
+    thread = service.apply(
+        edges_removed=[("ghost", "r-a", "nowhere")], wait=False
+    )
+    thread.join(timeout=30)
+    assert isinstance(thread.error, UnknownEdgeError)
+    assert thread.version is None
+    assert service.version == 1  # a failed delta never swaps
+    ok = service.apply(edges_added=[DELTA_EDGE], wait=False)
+    ok.join(timeout=30)
+    assert ok.error is None
+    assert ok.version == 2
+
+
+def test_transient_handles_are_pruned_on_prepare(fig1):
+    service = SimilarityService(fig1)
+    for _ in range(10):
+        transient = service.prepare(algorithm="relsim", pattern=PATTERN)
+        transient.run("DataMining")
+        del transient
+    kept = service.prepare(algorithm="relsim", pattern=PATTERN)
+    # Dead weakrefs are pruned as new handles register, not only on
+    # swap: a read-mostly service must not grow the list unboundedly.
+    assert len(service._handles) == 1
+    assert service.prepared_queries() == [kept]
+
+
+def test_versions_increase_monotonically(fig1):
+    service = SimilarityService(fig1)
+    versions = [
+        service.apply(
+            edges_added=[("FreshMining{}".format(i), "p-in", "SIGKDD")]
+        )
+        for i in range(4)
+    ]
+    assert versions == [2, 3, 4, 5]
+
+
+def test_dropped_handles_are_not_rebound(fig1):
+    service = SimilarityService(fig1)
+    keep = service.prepare(algorithm="relsim", pattern=PATTERN)
+    drop = service.prepare(algorithm="relsim", pattern="r-a-.r-a")
+    assert len(service.prepared_queries()) == 2
+    del drop
+    service.apply(edges_added=[DELTA_EDGE])
+    assert service.prepared_queries() == [keep]
+
+
+def test_add_node_type_conflict_for_programmatic_mutation(fig1):
+    # add_node conflicts matter once services mutate graphs
+    # programmatically: re-typing must fail loudly, not silently.
+    database = fig1.copy()
+    database.add_node("typed", "proc")
+    database.add_node("typed", "proc")  # same type: idempotent
+    database.add_node("typed")          # None: no-op
+    with pytest.raises(NodeTypeConflictError):
+        database.add_node("typed", "paper")
+
+
+# ----------------------------------------------------------------------
+# Concurrency: the 8-thread hammer
+# ----------------------------------------------------------------------
+def test_eight_thread_hammer_results_identical(dblp_small):
+    database = dblp_small.database
+    session = SimilaritySession(database)
+    prepared = session.prepare(
+        algorithm="relsim", pattern=PATTERN, top_k=10
+    )
+    queries = list(database.nodes_of_type("area"))
+    reference = session.algorithm("relsim", pattern=PATTERN)
+    expected = {
+        query: reference.rank(query, top_k=10).items() for query in queries
+    }
+
+    rounds = 5
+    failures = []
+    barrier = threading.Barrier(8)
+
+    def hammer(offset):
+        try:
+            barrier.wait(timeout=30)
+            for round_ in range(rounds):
+                for query in queries[offset::2]:
+                    observed = prepared.run(query).items()
+                    if observed != expected[query]:
+                        failures.append((query, round_, offset))
+        except Exception as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=hammer, args=(i % 2,)) for i in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not failures, failures[:3]
+
+
+def test_eight_thread_cold_engine_shares_one_matrix(dblp_small):
+    # Double-checked publication: concurrent cold computes of the same
+    # pattern must converge on one cached matrix object.
+    session = SimilaritySession(dblp_small.database)
+    pattern = parse_pattern(PATTERN)
+    results = []
+    failures = []
+    barrier = threading.Barrier(8)
+
+    def compute():
+        try:
+            barrier.wait(timeout=30)
+            results.append(session.engine.matrix(pattern))
+        except Exception as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+
+    threads = [threading.Thread(target=compute) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not failures, failures
+    assert len(results) == 8
+    assert all(matrix is results[0] for matrix in results)
+
+
+# ----------------------------------------------------------------------
+# Freshness: no torn snapshots during swap
+# ----------------------------------------------------------------------
+def test_queries_during_swap_never_see_torn_snapshot(fig1):
+    service = SimilarityService(fig1)
+    prepared = service.prepare(
+        algorithm="relsim", pattern=PATTERN, top_k=10
+    )
+    old_expected = {q: prepared.run(q).items() for q in QUERIES}
+
+    mutated = fig1.copy()
+    mutated.add_edge(*DELTA_EDGE)
+    new_expected = _expected(mutated)
+    assert new_expected != old_expected
+
+    stop = threading.Event()
+    anomalies = []
+
+    def hammer():
+        while not stop.is_set():
+            for query in QUERIES:
+                observed = prepared.run(query).items()
+                if (
+                    observed != old_expected[query]
+                    and observed != new_expected[query]
+                ):
+                    anomalies.append((query, observed))
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(5):
+            service.apply(edges_added=[DELTA_EDGE])
+            assert {
+                q: prepared.run(q).items() for q in QUERIES
+            } == new_expected
+            service.apply(edges_removed=[DELTA_EDGE])
+            assert {
+                q: prepared.run(q).items() for q in QUERIES
+            } == old_expected
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+    assert not anomalies, anomalies[:3]
+    assert service.version == 11

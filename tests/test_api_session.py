@@ -376,6 +376,19 @@ def test_session_cache_info_reports_memory(fig1):
     assert info["bytes"] > 0
 
 
+def test_engine_warm_set_api(fig1):
+    session = SimilaritySession(fig1)
+    patterns = [parse_pattern(PATTERN), parse_pattern("r-a-.r-a")]
+    matrices = session.engine.warm(patterns, norms=True)
+    assert len(matrices) == 2
+    info = session.cache_info()
+    assert info["column_norms"] == 2
+    # Everything the warm-set touched is now a pure cache hit.
+    misses = info["misses"]
+    session.engine.warm(patterns, norms=True)
+    assert session.cache_info()["misses"] == misses
+
+
 def test_session_matrices_many_shares_entries(fig1):
     session = SimilaritySession(fig1)
     first = session.matrices_many(["p-in.p-in-", "(p-in.p-in-)-"])

@@ -275,6 +275,60 @@ def test_patterns_no_filters_flag(dblp_json):
     assert "constraints used" in output
 
 
+def test_serve_bench(dblp_json):
+    code, output = run_cli(
+        [
+            "serve-bench",
+            dblp_json,
+            "--pattern",
+            "r-a-.p-in.p-in-.r-a",
+            "--expand",
+            "--queries",
+            "6",
+            "--threads",
+            "2",
+            "--node-type",
+            "area",
+        ]
+    )
+    assert code == 0
+    assert "per-call session.query" in output
+    assert "prepared.run" in output
+    assert "results identical      : yes" in output
+
+
+def test_serve_bench_infers_node_type(dblp_json):
+    code, output = run_cli(
+        [
+            "serve-bench",
+            dblp_json,
+            "--pattern",
+            "p-in.p-in-",
+            "--queries",
+            "4",
+            "--threads",
+            "2",
+        ]
+    )
+    assert code == 0
+    # dblp-small's most common node type is 'paper'.
+    assert "type 'paper'" in output
+
+
+def test_serve_bench_rejects_pattern_for_topology_algorithms(dblp_json):
+    code, _ = run_cli(
+        [
+            "serve-bench",
+            dblp_json,
+            "--algorithm",
+            "rwr",
+            "--pattern",
+            "r-a",
+        ]
+    )
+    assert code == 2
+
+
 def test_robustness_command():
     code, output = run_cli(
         [

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.exceptions import UnknownLabelError, UnknownNodeError
+from repro.exceptions import (
+    NodeTypeConflictError,
+    ReproError,
+    UnknownEdgeError,
+    UnknownLabelError,
+    UnknownNodeError,
+)
 from repro.graph import GraphDatabase, Schema
 
 
@@ -52,6 +58,31 @@ def test_remove_edge(db):
 def test_remove_missing_edge_raises(db):
     with pytest.raises(KeyError):
         db.remove_edge(1, "a", 2)
+
+
+def test_remove_missing_edge_raises_library_error(db):
+    # UnknownEdgeError joins the library hierarchy but stays a KeyError
+    # for callers that guarded the old bare exception.
+    with pytest.raises(UnknownEdgeError) as info:
+        db.remove_edge(1, "a", 2)
+    assert isinstance(info.value, ReproError)
+    assert isinstance(info.value, KeyError)
+    assert info.value.edge == (1, "a", 2)
+    assert "unknown edge" in str(info.value)
+
+
+def test_add_node_type_conflict_raises(db):
+    db.add_node(1, "kind")
+    db.add_node(1, "kind")  # same type: idempotent
+    db.add_node(1)          # None: keeps the type
+    assert db.node_type(1) == "kind"
+    db.add_node(2)
+    db.add_node(2, "late")  # None -> type upgrade is allowed
+    assert db.node_type(2) == "late"
+    with pytest.raises(NodeTypeConflictError) as info:
+        db.add_node(1, "other")
+    assert isinstance(info.value, ReproError)
+    assert db.node_type(1) == "kind"
 
 
 def test_successors_predecessors(db):
