@@ -129,7 +129,7 @@ class _BoundQuery:
         self.patterns = tuple(patterns)
 
 
-def bind(session, spec, warm=True):
+def bind(session, spec, warm=True, expanded_patterns=None):
     """Build the :class:`_BoundQuery` for ``spec`` on ``session``.
 
     ``spec`` is ``(algorithm, options, expand)`` where ``algorithm`` is
@@ -138,13 +138,26 @@ def bind(session, spec, warm=True):
     (:meth:`~repro.similarity.base.SimilarityAlgorithm.prepare_scoring`)
     and the candidate index for a fixed answer type is built now, so
     the first ``run`` is already a hot call.
+
+    ``expanded_patterns`` short-circuits Algorithm-1 expansion with an
+    already-expanded pattern list — the incremental re-bind path: an
+    edge delta never changes the schema's constraints, so the expansion
+    a previous bind computed is still exact and need not be re-run.
     """
     algorithm, options, expand = spec
     if isinstance(algorithm, SimilarityAlgorithm):
         instance = algorithm
     else:
         if expand is not None:
-            options = expanded_options(session, algorithm, options, expand)
+            if expanded_patterns is not None:
+                options = dict(options)
+                options.pop("pattern", None)
+                options.pop("patterns", None)
+                options["patterns"] = list(expanded_patterns)
+            else:
+                options = expanded_options(
+                    session, algorithm, options, expand
+                )
         instance = session.algorithm(algorithm, **options)
     if warm:
         instance.prepare_scoring()
@@ -269,14 +282,25 @@ class PreparedQuery:
         self._swap_bound(self._rebound(session))
         return self
 
-    def _rebound(self, session):
-        """Build (but do not install) this spec's bound state on ``session``."""
+    def _rebound(self, session, reuse_expansion=False):
+        """Build (but do not install) this spec's bound state on ``session``.
+
+        With ``reuse_expansion`` (the incremental live-update path), the
+        Algorithm-1 expansion already bound to this handle is reused
+        instead of re-generated: edge/node deltas cannot change the
+        schema's constraints, so the expanded set is unchanged and
+        re-binding reduces to re-pinning scoring state — which the
+        engine's delta-maintained caches serve mostly by identity.
+        """
         if isinstance(self._spec[0], SimilarityAlgorithm):
             raise EvaluationError(
                 "cannot rebind a query prepared from a pre-built "
                 "instance; prepare by registry name for live updates"
             )
-        return bind(session, self._spec, warm=self._warm)
+        expanded = self._bound.patterns if reuse_expansion else None
+        return bind(
+            session, self._spec, warm=self._warm, expanded_patterns=expanded
+        )
 
     def _swap_bound(self, bound):
         # A single attribute assignment: atomic under the GIL, so

@@ -10,10 +10,14 @@ swap**:
 * the service owns the *current* :class:`~repro.api.session.SimilaritySession`
   over a private copy of the database (callers can keep mutating their
   own object without corrupting the snapshot);
-* :meth:`SimilarityService.apply` (edge deltas) and
-  :meth:`SimilarityService.swap` (whole database) rebuild a fresh
-  session off the serving path using :meth:`GraphDatabase.copy` — the
-  old snapshot keeps answering queries the entire time;
+* :meth:`SimilarityService.apply` (edge/node deltas) builds the next
+  snapshot off the serving path — small batches **incrementally**, by
+  forking the serving engine and patching its cached matrices through
+  sparse delta propagation (bitwise identical to a rebuild, typically
+  an order of magnitude faster for single-edge churn); large batches
+  and :meth:`SimilarityService.swap` (whole database) fall back to the
+  full session rebuild.  The old snapshot keeps answering queries the
+  entire time either way;
 * every outstanding :class:`~repro.api.prepared.PreparedQuery` handed
   out by :meth:`prepare` is re-bound against the new snapshot (pattern
   expansion re-run, matrices re-materialized, scoring state re-pinned)
@@ -71,14 +75,32 @@ class SimilarityService:
         prepared.run("proc:0")                    # serves version 2
     """
 
-    def __init__(self, database, copy=True, **session_options):
+    #: Largest delta batch (edges added + removed + nodes added) routed
+    #: through the incremental path when ``apply(..., incremental=None)``.
+    DEFAULT_INCREMENTAL_THRESHOLD = 64
+
+    def __init__(
+        self,
+        database,
+        copy=True,
+        incremental_threshold=DEFAULT_INCREMENTAL_THRESHOLD,
+        **session_options,
+    ):
         self._session_options = dict(session_options)
+        self._incremental_threshold = incremental_threshold
         snapshot_db = database.copy() if copy else database
         self._snapshot = _Snapshot(
             SimilaritySession(snapshot_db, **self._session_options), 1
         )
         self._mutate_lock = threading.RLock()
         self._handles = []
+        self._delta_stats = {
+            "incremental_applies": 0,
+            "full_rebuilds": 0,
+            "patched": 0,
+            "invalidated": 0,
+            "last_path": None,
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -106,6 +128,19 @@ class SimilarityService:
                 for handle in (ref() for ref in self._handles)
                 if handle is not None
             ]
+
+    @property
+    def delta_stats(self):
+        """Counters for the live-update paths taken so far.
+
+        ``incremental_applies`` / ``full_rebuilds`` count how each
+        ``apply``/``swap`` was served, ``patched`` / ``invalidated``
+        accumulate the engine's per-delta cache maintenance counts, and
+        ``last_path`` names the route of the most recent mutation
+        (``"incremental"`` or ``"rebuild"``).
+        """
+        with self._mutate_lock:
+            return dict(self._delta_stats)
 
     # ------------------------------------------------------------------
     # Query entry points
@@ -153,43 +188,85 @@ class SimilarityService:
     # ------------------------------------------------------------------
     # Live updates
     # ------------------------------------------------------------------
-    def apply(self, edges_added=(), edges_removed=(), wait=True):
-        """Apply an edge delta and swap in the rebuilt snapshot.
+    def apply(
+        self,
+        edges_added=(),
+        edges_removed=(),
+        nodes_added=(),
+        wait=True,
+        incremental=None,
+    ):
+        """Apply a delta and swap in the updated snapshot.
 
         ``edges_added`` / ``edges_removed`` are iterables of
-        ``(source, label, target)`` triples, applied to a
-        :meth:`~repro.graph.database.GraphDatabase.copy` of the current
-        snapshot — removing an absent edge raises
-        :class:`~repro.exceptions.UnknownEdgeError`, and the serving
-        snapshot is untouched until the whole rebuild succeeds.
+        ``(source, label, target)`` triples and ``nodes_added`` holds
+        node ids or ``(node, type)`` pairs; the delta is validated as a
+        batch — removing an absent edge raises
+        :class:`~repro.exceptions.UnknownEdgeError` — and the serving
+        snapshot is untouched until the whole update succeeds.
+
+        Small batches (at most ``incremental_threshold`` changes) take
+        the **incremental path**: the serving engine is forked onto a
+        private database copy and every cached commuting matrix,
+        diagonal and norm is *patched* via sparse delta propagation
+        (:meth:`CommutingMatrixEngine.apply_delta`) instead of being
+        recomputed, and live prepared handles re-pin only the scoring
+        state whose inputs changed (their Algorithm-1 expansion is
+        reused, not re-run).  Patching is exact integer arithmetic, so
+        the resulting rankings are bitwise identical to a full rebuild —
+        ``benchmarks/bench_delta.py`` gates both that identity and the
+        speedup.  Larger batches (or ``incremental=False``) fall back to
+        the full session rebuild; ``incremental=True`` forces the
+        incremental path regardless of size.  Either way publication is
+        the same atomic snapshot swap: in-flight queries finish on the
+        old snapshot, and :attr:`version` increases monotonically.
 
         Returns the new :attr:`version`.  With ``wait=False`` the
-        rebuild runs on a background thread and the started
+        update runs on a background thread and the started
         ``threading.Thread`` is returned instead; after ``join()``,
         ``thread.version`` holds the new version and ``thread.error``
-        the exception that aborted the rebuild (``None`` on success) —
+        the exception that aborted the update (``None`` on success) —
         a failed delta never swaps, so callers must check it.  Queries
         are served from the old snapshot throughout either way.
         """
         edges_added = list(edges_added)
         edges_removed = list(edges_removed)
+        nodes_added = list(nodes_added)
         if not wait:
             return self._in_background(
-                lambda: self.apply(edges_added, edges_removed)
+                lambda: self.apply(
+                    edges_added,
+                    edges_removed,
+                    nodes_added,
+                    incremental=incremental,
+                )
             )
         with self._mutate_lock:
+            if incremental is None:
+                size = (
+                    len(edges_added) + len(edges_removed) + len(nodes_added)
+                )
+                threshold = self._incremental_threshold
+                incremental = threshold is not None and size <= threshold
+            if incremental:
+                return self._apply_incremental_locked(
+                    edges_added, edges_removed, nodes_added
+                )
             database = self._snapshot.session.database.copy()
-            for edge in edges_removed:
-                database.remove_edge(*edge)
-            for edge in edges_added:
-                database.add_edge(*edge)
+            database.apply_delta(
+                edges_added=edges_added,
+                edges_removed=edges_removed,
+                nodes_added=nodes_added,
+            )
             return self._swap_locked(database)
 
     def swap(self, database, wait=True):
         """Replace the whole database (copied) and swap atomically.
 
-        Returns the new :attr:`version` (or the background
-        ``threading.Thread`` with ``wait=False``).
+        Always a full rebuild — an arbitrary replacement database shares
+        no delta with the serving snapshot to propagate.  Returns the
+        new :attr:`version` (or the background ``threading.Thread``
+        with ``wait=False``).
         """
         if not wait:
             return self._in_background(lambda: self.swap(database))
@@ -216,19 +293,50 @@ class SimilarityService:
         thread.start()
         return thread
 
+    def _apply_incremental_locked(self, edges_added, edges_removed, nodes_added):
+        # Fork the serving engine onto a private database copy, patch
+        # the fork in place (old snapshot untouched — cached matrices
+        # are shared but only ever *replaced* in the fork), then publish
+        # through the same atomic protocol as a full rebuild.
+        old_session = self._snapshot.session
+        database = old_session.database.copy()
+        engine = old_session.engine.fork(database)
+        stats = engine.apply_delta(
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+            nodes_added=nodes_added,
+        )
+        session = SimilaritySession(database, engine=engine)
+        version = self._publish_locked(session, reuse_expansion=True)
+        self._delta_stats["incremental_applies"] += 1
+        self._delta_stats["patched"] += stats["patched"]
+        self._delta_stats["invalidated"] += stats["invalidated"]
+        self._delta_stats["last_path"] = "incremental"
+        return version
+
     def _swap_locked(self, database):
         session = SimilaritySession(database, **self._session_options)
+        version = self._publish_locked(session, reuse_expansion=False)
+        self._delta_stats["full_rebuilds"] += 1
+        self._delta_stats["last_path"] = "rebuild"
+        return version
+
+    def _publish_locked(self, session, reuse_expansion):
         # Phase 1 (slow, off the serving path): rebuild every live
-        # prepared handle against the new session.  Expansion re-runs,
-        # matrices re-materialize, scoring state re-pins — all while
-        # the old snapshot keeps answering queries.
+        # prepared handle against the new session.  On a full rebuild,
+        # expansion re-runs and matrices re-materialize; on an
+        # incremental apply the expansion is reused and re-pinning is
+        # mostly cache hits against the patched engine.  Either way the
+        # old snapshot keeps answering queries throughout.
         rebinds = []
         surviving = []
         for ref in self._handles:
             handle = ref()
             if handle is None:
                 continue
-            rebinds.append((handle, handle._rebound(session)))
+            rebinds.append(
+                (handle, handle._rebound(session, reuse_expansion))
+            )
             surviving.append(ref)
         self._handles = surviving
         # Phase 2 (fast): publish.  Each assignment is atomic, so any

@@ -25,6 +25,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.api import (
+    SimilarityService,
     SimilaritySession,
     algorithm_parameters,
     available_algorithms,
@@ -156,6 +157,7 @@ def build_parser():
         default=None,
         help="query node type (default: the most common type)",
     )
+    _add_delta_flags(serve)
 
     explain = sub.add_parser(
         "explain", help="show the compiled evaluation plan for patterns"
@@ -179,6 +181,7 @@ def build_parser():
         default=16,
         help="pattern budget for --expand",
     )
+    _add_delta_flags(explain)
 
     transform = sub.add_parser("transform", help="apply a catalog mapping")
     transform.add_argument("database")
@@ -205,6 +208,67 @@ def build_parser():
     robustness.add_argument("--queries", type=int, default=20)
     robustness.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_delta_flags(parser):
+    """``--add-edge``/``--remove-edge`` — serve from a post-delta snapshot."""
+    parser.add_argument(
+        "--add-edge",
+        action="append",
+        default=[],
+        dest="add_edges",
+        metavar="SRC,LABEL,TGT",
+        help="apply this edge delta (incrementally) before serving; repeat "
+        "for a batch",
+    )
+    parser.add_argument(
+        "--remove-edge",
+        action="append",
+        default=[],
+        dest="remove_edges",
+        metavar="SRC,LABEL,TGT",
+        help="remove this edge (incrementally) before serving; repeat for "
+        "a batch",
+    )
+
+
+def _parse_edge_flag(text):
+    parts = [part.strip() for part in text.split(",")]
+    if len(parts) != 3 or not all(parts):
+        raise EvaluationError(
+            "edge flags take SRC,LABEL,TGT (got {!r})".format(text)
+        )
+    return tuple(parts)
+
+
+def _apply_delta_args(database, args, out):
+    """Route CLI edge deltas through a service's incremental apply.
+
+    Returns the post-delta serving session (or a plain session when no
+    delta flags were given) so every serving command runs on exactly
+    what a live service would serve after ``apply()``.
+    """
+    added = [_parse_edge_flag(text) for text in args.add_edges]
+    removed = [_parse_edge_flag(text) for text in args.remove_edges]
+    if not added and not removed:
+        return SimilaritySession(database)
+    service = SimilarityService(database, copy=False)
+    start = time.perf_counter()
+    version = service.apply(edges_added=added, edges_removed=removed)
+    elapsed = time.perf_counter() - start
+    stats = service.delta_stats
+    print(
+        "applied delta (+{} / -{} edges) via {} path in {:.1f} ms "
+        "(snapshot version {})".format(
+            len(added),
+            len(removed),
+            stats["last_path"],
+            1000.0 * elapsed,
+            version,
+        ),
+        file=out,
+    )
+    return service.session
 
 
 def _cmd_generate(args, out):
@@ -289,7 +353,7 @@ def _cmd_query(args, out):
 
 def _cmd_explain(args, out):
     database = load_json(args.database)
-    session = SimilaritySession(database)
+    session = _apply_delta_args(database, args, out)
     patterns = [parse_pattern(text) for text in args.patterns]
     if args.expand:
         if len(patterns) != 1:
@@ -309,7 +373,8 @@ def _cmd_explain(args, out):
 
 def _cmd_serve_bench(args, out):
     database = load_json(args.database)
-    session = SimilaritySession(database)
+    session = _apply_delta_args(database, args, out)
+    database = session.database
     node_type = args.node_type
     if node_type is None:
         histogram = {}

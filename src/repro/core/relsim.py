@@ -118,8 +118,13 @@ class RelSim(SimilarityAlgorithm):
         state = []
         for pattern, matrix in zip(self.patterns, matrices):
             matrix.sum_duplicates()  # dense_rows needs canonical CSR
+            # Engine-cached: shared across algorithms and patched in
+            # place by delta maintenance, so re-pinning after a live
+            # update only recomputes what actually changed.
             diagonal = (
-                matrix.diagonal() if self.scoring == "pathsim" else None
+                self.engine.diagonal(pattern)
+                if self.scoring == "pathsim"
+                else None
             )
             norms = (
                 self.engine.column_norms(pattern)

@@ -48,6 +48,81 @@ class NodeIndexer:
         return list(self._ids)
 
 
+def resized(matrix, n):
+    """``matrix`` with its square shape grown to ``(n, n)``.
+
+    CSR growth is pure bookkeeping: appended rows extend ``indptr`` with
+    the final offset, appended columns only change ``shape``.  The data
+    and index buffers are *shared* with the input (nothing in the engine
+    ever mutates them), so resizing a cached matrix after a node-adding
+    delta costs O(new rows), not O(nnz).
+    """
+    old = matrix.shape[0]
+    if old == n:
+        return matrix
+    if old > n:
+        raise ValueError(
+            "cannot shrink a matrix from {} to {} rows".format(old, n)
+        )
+    indptr = np.concatenate(
+        [
+            matrix.indptr,
+            np.full(n - old, matrix.indptr[-1], dtype=matrix.indptr.dtype),
+        ]
+    )
+    # Assembled around SciPy's constructor, which would copy (and
+    # re-validate) the buffers.
+    grown = sp.csr_matrix((n, n), dtype=matrix.dtype)
+    grown.data = matrix.data
+    grown.indices = matrix.indices
+    grown.indptr = indptr
+    if matrix.has_canonical_format:
+        grown.has_canonical_format = True
+    return grown
+
+
+def identity_patch(indices, n):
+    """Ones on the diagonal at ``indices`` — the ``I`` growth of eps/star.
+
+    When a delta adds nodes, every matrix that embeds an identity term
+    (``eps``, ``p*``) gains a 1 at each new node's diagonal position;
+    everything else just gains zero rows/columns.  This is that patch.
+    """
+    indices = np.asarray(list(indices), dtype=np.intp)
+    data = np.ones(len(indices), dtype=np.float64)
+    return sp.csr_matrix((data, (indices, indices)), shape=(n, n))
+
+
+class ViewDelta:
+    """What one :meth:`MatrixView.apply_delta` call changed.
+
+    ``patches`` maps each touched label to a ``(n, n)`` CSR matrix of
+    ``+1``/``-1`` adjacency changes (net-zero labels are omitted);
+    ``old_num_nodes``/``num_nodes`` bound the indexer growth and
+    ``added_nodes`` lists the genuinely new node ids in indexer order.
+    The engine consumes this to propagate the delta through cached
+    commuting matrices.
+    """
+
+    __slots__ = ("patches", "old_num_nodes", "num_nodes", "added_nodes")
+
+    def __init__(self, patches, old_num_nodes, num_nodes, added_nodes):
+        self.patches = patches
+        self.old_num_nodes = old_num_nodes
+        self.num_nodes = num_nodes
+        self.added_nodes = list(added_nodes)
+
+    @property
+    def grew(self):
+        """True when the delta added nodes (matrix shapes changed)."""
+        return self.num_nodes != self.old_num_nodes
+
+    def __repr__(self):
+        return "ViewDelta(labels={}, nodes +{})".format(
+            sorted(self.patches), len(self.added_nodes)
+        )
+
+
 class MatrixView:
     """Per-label sparse adjacency matrices over a fixed node ordering.
 
@@ -63,9 +138,11 @@ class MatrixView:
         entries directly comparable).
 
     The view is a *snapshot*: mutate the database afterwards and the cached
-    matrices go stale.  Build a fresh view after mutation (or serve through
-    :class:`~repro.api.service.SimilarityService`, which swaps snapshots
-    for you).
+    matrices go stale.  Either build a fresh view after mutation, route
+    the mutation through :meth:`apply_delta` (which patches the cached
+    matrices in place instead of rebuilding them), or serve through
+    :class:`~repro.api.service.SimilarityService`, which swaps patched
+    snapshots for you.
 
     The view is thread-safe: the adjacency and candidate-index caches are
     lock-guarded with double-checked access (matrices are built outside
@@ -120,6 +197,108 @@ class MatrixView:
         )
         matrix.sum_duplicates()
         return matrix
+
+    def fork(self, database):
+        """A new view over ``database`` inheriting this view's caches.
+
+        The incremental-update idiom: fork the serving view onto a
+        private copy of its database, then :meth:`apply_delta` *on the
+        fork* — the original view (and every matrix object it handed
+        out) keeps serving the old snapshot untouched, because cached
+        matrices are never mutated, only replaced.  The indexer is
+        shared until the fork's ``apply_delta`` extends it.
+        """
+        clone = MatrixView.__new__(MatrixView)
+        clone._database = database
+        clone._indexer = self._indexer
+        clone._lock = threading.RLock()
+        clone._cache = dict(self._cache)
+        clone._candidates = dict(self._candidates)
+        clone._candidate_node_count = self._candidate_node_count
+        return clone
+
+    def apply_delta(self, edges_added=(), edges_removed=(), nodes_added=()):
+        """Apply an edge/node delta to the database *and* this view, in place.
+
+        The batch is validated and applied through
+        :meth:`~repro.graph.database.GraphDatabase.apply_delta` (a
+        failing delta raises with database and view untouched), then the
+        view patches itself instead of going stale:
+
+        * cached adjacencies get a sparse ``+1/-1`` patch per touched
+          label (a new CSR object replaces the cache entry — anyone
+          holding the old matrix keeps a consistent old snapshot);
+        * when nodes were added, the indexer is *replaced* by an
+          extended copy (the old indexer object stays frozen for old
+          readers) and every cached matrix is resized;
+        * candidate indexes are invalidated **scoped to affected
+          types**: only the types of genuinely new nodes (plus the
+          untyped "all nodes" list) are dropped; edge-only deltas leave
+          every candidate list untouched.
+
+        Returns a :class:`ViewDelta` with the per-label patches at the
+        new shape — the input the engine's ``apply_delta`` propagates
+        through cached commuting matrices.
+        """
+        nodes_added = [
+            entry if isinstance(entry, tuple) else (entry, None)
+            for entry in nodes_added
+        ]
+        added, removed, new_nodes = self._database.apply_delta(
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+            nodes_added=nodes_added,
+        )
+        with self._lock:
+            old_n = len(self._indexer)
+            if new_nodes:
+                self._indexer = NodeIndexer(self._indexer.ids + new_nodes)
+            n = len(self._indexer)
+            entries = {}
+            for (source, label, target), sign in [
+                (edge, -1.0) for edge in removed
+            ] + [(edge, 1.0) for edge in added]:
+                rows, cols, vals = entries.setdefault(label, ([], [], []))
+                rows.append(self._indexer.index_of(source))
+                cols.append(self._indexer.index_of(target))
+                vals.append(sign)
+            patches = {}
+            for label, (rows, cols, vals) in entries.items():
+                patch = sp.csr_matrix(
+                    (np.array(vals), (rows, cols)),
+                    shape=(n, n),
+                    dtype=np.float64,
+                )
+                patch.sum_duplicates()
+                patch.eliminate_zeros()
+                if patch.nnz:
+                    patches[label] = patch
+            for label, matrix in list(self._cache.items()):
+                patched = resized(matrix, n)
+                patch = patches.get(label)
+                if patch is not None:
+                    patched = (patched + patch).tocsr()
+                    patched.eliminate_zeros()
+                if patched is not matrix:
+                    self._cache[label] = patched
+            # Scoped candidate invalidation: types of genuinely new
+            # nodes, plus every type explicitly declared in the batch —
+            # nodes_added may *retype* an existing untyped node, which
+            # joins that type's candidate list without changing the
+            # node count.  The "all nodes" list only changes when
+            # membership does.
+            affected = {self._database.node_type(node) for node in new_nodes}
+            affected.update(
+                node_type
+                for _, node_type in nodes_added
+                if node_type is not None
+            )
+            for node_type in affected:
+                self._candidates.pop(("type", node_type), None)
+            if new_nodes:
+                self._candidates.pop(("all",), None)
+                self._candidate_node_count = self._database.num_nodes()
+            return ViewDelta(patches, old_n, n, new_nodes)
 
     def candidate_index(self, node_type=None):
         """Cached ``(nodes, columns)`` answer-candidate arrays for a type.

@@ -37,9 +37,17 @@ import threading
 from collections import Counter, OrderedDict
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.exceptions import EvaluationError, StarDivergenceError
-from repro.graph.matrices import MatrixView, boolean, dense_rows, diagonal_of
+from repro.graph.matrices import (
+    MatrixView,
+    boolean,
+    dense_rows,
+    diagonal_of,
+    identity_patch,
+    resized,
+)
 from repro.lang.ast import (
     Concat,
     Conj,
@@ -55,10 +63,16 @@ from repro.lang.ast import (
 )
 from repro.lang.plan import (
     PlanCompiler,
+    embeds_identity,
     estimate_nnz,
+    leaf_labels,
     order_chain,
     render_order,
 )
+
+#: Sentinel for a cache entry the delta pass cannot maintain cheaply —
+#: it is dropped (lazily recomputed on next use) instead of patched.
+_INVALID = object()
 
 
 def _star_sum(identity, base, max_depth, origin):
@@ -218,12 +232,17 @@ class CommutingMatrixEngine:
     """
 
     def __init__(
-        self, database_or_view, max_star_depth=None, max_cached_matrices=None
+        self,
+        database_or_view,
+        max_star_depth=None,
+        max_cached_matrices=None,
+        delta_rebuild_threshold=0.25,
     ):
         if isinstance(database_or_view, MatrixView):
             self._view = database_or_view
         else:
             self._view = MatrixView(database_or_view)
+        self._default_star_depth = max_star_depth is None
         if max_star_depth is None:
             max_star_depth = max(self._view.num_nodes(), 1)
         if max_cached_matrices is not None and max_cached_matrices < 1:
@@ -234,12 +253,20 @@ class CommutingMatrixEngine:
             )
         self._max_star_depth = max_star_depth
         self._max_cached = max_cached_matrices
+        self._rebuild_threshold = float(delta_rebuild_threshold)
         self._compiler = PlanCompiler()
         self._lock = threading.RLock()
         self._cache = OrderedDict()
         self._column_norms = OrderedDict()
+        self._diagonals = OrderedDict()
         self._hits = 0
         self._misses = 0
+        # Bumped by apply_delta: a computation started against the old
+        # snapshot must not publish into the patched cache.
+        self._generation = 0
+        self._patched = 0
+        self._invalidated = 0
+        self._delta_applies = 0
 
     @property
     def view(self):
@@ -302,67 +329,627 @@ class CommutingMatrixEngine:
                 self.column_norms(pattern)
         return matrices
 
+    # ------------------------------------------------------------------
+    # Incremental delta maintenance
+    # ------------------------------------------------------------------
+    def fork(self, database):
+        """A new engine over ``database`` inheriting this engine's caches.
+
+        The incremental-serving idiom: fork the serving engine onto a
+        private copy of its database, :meth:`apply_delta` on the fork,
+        and publish the fork as the new snapshot — the original engine
+        (and every matrix it handed out) keeps serving the old snapshot
+        untouched, because cached matrices are shared but never mutated,
+        only replaced in the fork's own cache.
+
+        The plan compiler is shared (canonical plan nodes keep keying
+        both engines' caches — that sharing is what lets the fork patch
+        the parent's materialized products), as are the LRU cap, star
+        bound, rebuild threshold, and hit/miss counters.
+        """
+        clone = CommutingMatrixEngine.__new__(CommutingMatrixEngine)
+        clone._view = self._view.fork(database)
+        clone._default_star_depth = self._default_star_depth
+        clone._max_star_depth = self._max_star_depth
+        clone._max_cached = self._max_cached
+        clone._rebuild_threshold = self._rebuild_threshold
+        clone._compiler = self._compiler
+        clone._lock = threading.RLock()
+        with self._lock:
+            clone._cache = OrderedDict(self._cache)
+            clone._column_norms = OrderedDict(self._column_norms)
+            clone._diagonals = OrderedDict(self._diagonals)
+            clone._hits = self._hits
+            clone._misses = self._misses
+            clone._generation = self._generation
+            clone._patched = self._patched
+            clone._invalidated = self._invalidated
+            clone._delta_applies = self._delta_applies
+        return clone
+
+    def apply_delta(self, edges_added=(), edges_removed=(), nodes_added=()):
+        """Apply an edge/node delta and maintain every cached matrix, in place.
+
+        The delta is validated and applied to the database and the
+        matrix view (:meth:`MatrixView.apply_delta` — a failing delta
+        raises with everything untouched), then the per-label adjacency
+        patches ``ΔA`` are propagated through the cached plan-DAG
+        products using
+
+            ``Δ(AB) = ΔA·B + A·ΔB + ΔA·ΔB``,
+
+        evaluated as ``ΔA·B_new + A_new·ΔB − ΔA·ΔB`` over the
+        already-updated inputs.  Resolution is memoized per plan node,
+        so a sub-chain shared by any number of cached patterns is
+        updated **exactly once**; entries whose labels the delta does
+        not touch are kept as-is without being examined (beyond a
+        memoized label-set check).  An entry whose input delta is denser
+        than ``delta_rebuild_threshold`` x the input's nnz — or whose
+        cheap-update inputs are missing (LRU-evicted children, a
+        changed Kleene-star base) — is **invalidated**: dropped from
+        the cache and lazily recomputed on next use, never silently
+        served stale.
+
+        All patch arithmetic is exact: commuting matrices hold integer
+        instance counts (float64 is exact below ``2**53``), so a patched
+        matrix — and the rankings computed from it — is bitwise
+        identical to a full rebuild.  The cached PathSim diagonals are
+        patched in place (``old + Δ.diagonal()``); cosine column norms
+        of changed matrices are dropped and recomputed on demand.
+
+        Readers racing an in-place ``apply_delta`` are generation-fenced
+        (a compute begun on the old snapshot never publishes into the
+        patched cache); for strict snapshot isolation, run this on a
+        :meth:`fork` and swap, as :class:`~repro.api.service.SimilarityService`
+        does.
+
+        Returns a stats dict: ``patched`` / ``kept`` / ``invalidated``
+        cache-entry counts, ``entries`` (cache size after), ``labels``
+        (touched labels) and ``nodes_added``.
+        """
+        with self._lock:
+            # The view is patched *inside* the engine lock and the
+            # generation bumped in the same critical section: cache
+            # lookups are blocked until the patched cache is published,
+            # and any compute that began against the old snapshot (or
+            # read mid-patch adjacencies) fails the generation fence at
+            # publish time and retries — a stale or mixed matrix can
+            # never enter the patched cache, and propagation can never
+            # mistake a post-delta publish for a pre-delta entry.
+            self._generation += 1
+            delta = self._view.apply_delta(
+                edges_added=edges_added,
+                edges_removed=edges_removed,
+                nodes_added=nodes_added,
+            )
+            self._delta_applies += 1
+            if self._default_star_depth:
+                self._max_star_depth = max(delta.num_nodes, 1)
+            return self._propagate_delta_locked(delta)
+
+    @staticmethod
+    def _fast_csr(data, indices, indptr, n):
+        """A canonical CSR from trusted buffers, skipping validation.
+
+        SciPy's constructor re-derives index dtypes and checks formats —
+        an O(nnz) scan per call that dominates small-delta propagation.
+        Callers guarantee sorted, deduplicated, zero-free buffers.
+        """
+        matrix = sp.csr_matrix((n, n), dtype=np.float64)
+        matrix.data = data
+        matrix.indices = indices
+        matrix.indptr = indptr
+        matrix.has_canonical_format = True
+        return matrix
+
+    @classmethod
+    def _tiny_matmul(cls, delta, matrix, n):
+        """``delta @ matrix`` for a delta with very few entries.
+
+        Each delta entry ``(i, j, v)`` contributes ``v * matrix[j, :]``
+        to result row ``i``, so the product is a handful of scaled CSR
+        row slices — O(delta nnz x row length) with no full-matrix
+        symbolic pass.  SciPy's matmul would scan the large operand's
+        index arrays per call, which dominates single-edge delta
+        propagation.
+        """
+        coo = delta.tocoo()
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        rows, cols, vals = [], [], []
+        for i, j, v in zip(coo.row, coo.col, coo.data):
+            start, end = indptr[j], indptr[j + 1]
+            if start == end:
+                continue
+            rows.append(np.full(end - start, i, dtype=np.intp))
+            cols.append(indices[start:end])
+            vals.append(v * data[start:end])
+        if not rows:
+            return sp.csr_matrix((n, n), dtype=np.float64)
+        rows = np.concatenate(rows)
+        cols = np.concatenate(cols)
+        vals = np.concatenate(vals)
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        # Collapse duplicate (row, col) positions, drop exact cancels.
+        fresh = np.empty(len(rows), dtype=bool)
+        fresh[:1] = True
+        np.logical_or(
+            rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=fresh[1:]
+        )
+        starts = np.flatnonzero(fresh)
+        sums = np.add.reduceat(vals, starts)
+        rows, cols = rows[starts], cols[starts]
+        keep = sums != 0
+        rows, cols, sums = rows[keep], cols[keep], sums[keep]
+        counts = np.bincount(rows, minlength=n)
+        result_indptr = np.zeros(n + 1, dtype=indptr.dtype)
+        np.cumsum(counts, out=result_indptr[1:])
+        return cls._fast_csr(
+            sums, cols.astype(indices.dtype), result_indptr, n
+        )
+
+    @classmethod
+    def _apply_patch(cls, old, d, n):
+        """``old + d`` as a canonical no-explicit-zeros CSR.
+
+        For a delta touching a handful of rows, the untouched row spans
+        of ``old`` are spliced through by slicing and only the touched
+        rows are merge-sorted, summed, and zero-pruned.  Wider deltas
+        fall back to SciPy's C merge, skipping its canonical re-check
+        (both operands are canonical, so the sum is) and pruning
+        explicit zeros only when the delta can cancel entries.  ``old``
+        must already be at shape ``(n, n)``; both operands canonical.
+        """
+        od, oi, op = old.data, old.indices, old.indptr
+        dd, di, dp = d.data, d.indices, d.indptr
+        touched = np.flatnonzero(np.diff(dp))
+        if len(touched) > 8:
+            new = old + d
+            new.has_canonical_format = True
+            if dd.min() < 0:
+                new.eliminate_zeros()
+            return new
+        counts = np.diff(op).copy()
+        data_parts, index_parts = [], []
+        previous = 0
+        for row in touched:
+            data_parts.append(od[op[previous]:op[row]])
+            index_parts.append(oi[op[previous]:op[row]])
+            cols = np.concatenate(
+                [oi[op[row]:op[row + 1]], di[dp[row]:dp[row + 1]]]
+            )
+            vals = np.concatenate(
+                [od[op[row]:op[row + 1]], dd[dp[row]:dp[row + 1]]]
+            )
+            order = np.argsort(cols, kind="stable")
+            cols, vals = cols[order], vals[order]
+            fresh = np.empty(len(cols), dtype=bool)
+            fresh[:1] = True
+            np.not_equal(cols[1:], cols[:-1], out=fresh[1:])
+            starts = np.flatnonzero(fresh)
+            sums = np.add.reduceat(vals, starts)
+            cols = cols[starts]
+            keep = sums != 0
+            cols, sums = cols[keep], sums[keep]
+            data_parts.append(sums)
+            index_parts.append(cols)
+            counts[row] = len(cols)
+            previous = row + 1
+        data_parts.append(od[op[previous]:])
+        index_parts.append(oi[op[previous]:])
+        indptr = np.zeros(n + 1, dtype=op.dtype)
+        np.cumsum(counts, out=indptr[1:])
+        return cls._fast_csr(
+            np.concatenate(data_parts),
+            np.concatenate(index_parts).astype(oi.dtype),
+            indptr,
+            n,
+        )
+
+    @classmethod
+    def _entries_csr(cls, rows, cols, vals, n, index_dtype):
+        """A CSR from row-major-sorted, unique, nonzero entry arrays."""
+        counts = np.bincount(rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=index_dtype)
+        np.cumsum(counts, out=indptr[1:])
+        return cls._fast_csr(
+            np.asarray(vals, dtype=np.float64),
+            np.asarray(cols, dtype=index_dtype),
+            indptr,
+            n,
+        )
+
+    @staticmethod
+    def _values_at(matrix, rows, cols):
+        """``matrix[rows[k], cols[k]]`` for parallel position arrays.
+
+        Binary search within each row of a canonical CSR — O(k log
+        degree), no row materialization.  The probe under the bool-node
+        delta rule (a boolean entry can only flip where the underlying
+        count changed).
+        """
+        out = np.zeros(len(rows), dtype=np.float64)
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        for k in range(len(rows)):
+            start, end = indptr[rows[k]], indptr[rows[k] + 1]
+            position = start + np.searchsorted(indices[start:end], cols[k])
+            if position < end and indices[position] == cols[k]:
+                out[k] = data[position]
+        return out
+
+    def _propagate_delta_locked(self, delta):
+        n = delta.num_nodes
+        grew = delta.grew
+        patches = delta.patches
+        touched = frozenset(patches)
+        threshold = self._rebuild_threshold
+        old_cache = self._cache
+        zero = sp.csr_matrix((n, n), dtype=np.float64)
+        ipatch = (
+            identity_patch(range(delta.old_num_nodes, n), n) if grew else None
+        )
+        memo = {}
+        canonical = self._canonicalize
+        tiny_matmul = self._tiny_matmul
+        apply_patch = self._apply_patch
+        #: Use the scaled-row-slice kernel below this many delta
+        #: entries; larger deltas amortize SciPy's matmul overhead.
+        tiny_cap = 64
+
+        def is_zero(d):
+            return d is not None and d.nnz == 0
+
+        def product(a, b):
+            if a.nnz <= tiny_cap:
+                return tiny_matmul(a, b, n)
+            return canonical(a @ b)
+
+        def resolve(node):
+            # (new, delta, old) triples for nodes the pass can maintain
+            # cheaply — ``old`` is the pre-delta matrix at the *new*
+            # shape (None when unavailable), ``delta`` None means "new
+            # at hand, delta unknown".  _INVALID = nothing cheap.
+            # Memoized: each shared sub-plan of the DAG is resolved
+            # exactly once per delta.
+            result = memo.get(node)
+            if result is None:
+                memo[node] = result = compute(node)
+            return result
+
+        def unchanged(old):
+            matrix = resized(old, n) if grew else old
+            return (matrix, zero, matrix)
+
+        def compute(node):
+            old = old_cache.get(node)
+            # Fast path: the delta cannot touch this plan's matrix
+            # (disjoint labels, and no embedded identity when the node
+            # set grew) — keep the entry, at most resized.
+            if (
+                old is not None
+                and not (leaf_labels(node) & touched)
+                and (not grew or not embeds_identity(node))
+            ):
+                return unchanged(old)
+            kind = node.kind
+            if kind == "eps":
+                identity = self._view.identity()
+                if not grew:
+                    return (identity, zero, identity)
+                return (identity, ipatch, resized(old, n) if old is not None else None)
+            if kind == "leaf":
+                new = self._view.adjacency(node.payload)
+                patch = patches.get(node.payload)
+                if patch is None:
+                    return (new, zero, new)
+                return (
+                    new,
+                    patch,
+                    resized(old, n) if old is not None else None,
+                )
+            if kind == "transpose":
+                # Canonical transposes sit on leaves: always cheap.
+                child_new, child_delta, child_old = resolve(node.children[0])
+                if old is not None and is_zero(child_delta):
+                    return unchanged(old)
+                return (
+                    canonical(child_new.T),
+                    None
+                    if child_delta is None
+                    else canonical(child_delta.T),
+                    resized(old, n)
+                    if old is not None
+                    else (
+                        None if child_old is None else canonical(child_old.T)
+                    ),
+                )
+            if kind == "chain":
+                if old is None:
+                    return _INVALID
+                self._ensure_ordered(node)
+                left = resolve(node.left)
+                right = resolve(node.right)
+                if left is _INVALID or right is _INVALID:
+                    return _INVALID
+                (l_new, dl, l_old) = left
+                (r_new, dr, r_old) = right
+                if dl is None or dr is None:
+                    return _INVALID
+                if dl.nnz == 0 and dr.nnz == 0:
+                    return unchanged(old)
+                if dl.nnz > threshold * max(l_new.nnz, 1) or (
+                    dr.nnz > threshold * max(r_new.nnz, 1)
+                ):
+                    return _INVALID
+                # Δ(LR) = ΔL·R_old + L_old·ΔR + ΔL·ΔR, folded into two
+                # products over available operands:
+                #   ΔL·R_new + L_old·ΔR  ==  ΔL·(R_old+ΔR) + L_old·ΔR.
+                if l_old is None:
+                    l_old = canonical(l_new - dl)
+                d = zero
+                if dl.nnz:
+                    d = d + product(dl, r_new)
+                if dr.nnz:
+                    d = d + l_old @ dr
+                d = canonical(d)
+                old = resized(old, n)
+                return (apply_patch(old, d, n), d, old)
+            if kind == "add":
+                parts = [resolve(child) for child in node.children]
+                if any(part is _INVALID for part in parts):
+                    return _INVALID
+                if any(part[1] is None for part in parts) or old is None:
+                    # No usable delta, but every summand's new matrix is
+                    # at hand — summation is O(nnz), same as execution.
+                    total = parts[0][0]
+                    for part in parts[1:]:
+                        total = total + part[0]
+                    total = canonical(total)
+                    if all(is_zero(part[1]) for part in parts):
+                        return (total, zero, total)
+                    return (
+                        total,
+                        None,
+                        resized(old, n) if old is not None else None,
+                    )
+                if all(part[1].nnz == 0 for part in parts):
+                    return unchanged(old)
+                d = zero
+                for part in parts:
+                    if part[1].nnz:
+                        d = d + part[1]
+                d = canonical(d)
+                old = resized(old, n)
+                return (apply_patch(old, d, n), d, old)
+            if kind == "hadamard":
+                parts = [resolve(child) for child in node.children]
+                if any(part is _INVALID for part in parts):
+                    return _INVALID
+                if old is not None and all(is_zero(part[1]) for part in parts):
+                    return unchanged(old)
+                new = parts[0][0]
+                for part in parts[1:]:
+                    new = new.multiply(part[0])
+                new = canonical(new)
+                if old is None:
+                    return (new, None, None)
+                old = resized(old, n)
+                return (new, canonical(new - old), old)
+            if kind == "bool":
+                child = resolve(node.children[0])
+                if child is _INVALID:
+                    return _INVALID
+                child_new, child_delta, _ = child
+                if old is not None and is_zero(child_delta):
+                    return unchanged(old)
+                if child_delta is None or old is None or (
+                    # The probe below is a per-entry binary search; for
+                    # wide deltas the vectorized full re-threshold and
+                    # diff is cheaper (same cutoff shape as the chain
+                    # threshold, plus an absolute cap on loop length).
+                    child_delta.nnz > 2048
+                    or child_delta.nnz > threshold * max(child_new.nnz, 1)
+                ):
+                    new = boolean(child_new)
+                    if old is None:
+                        return (new, None, None)
+                    old = resized(old, n)
+                    return (new, canonical(new - old), old)
+                # A boolean entry can only flip where the count changed:
+                # probe the new counts on ΔM's support instead of
+                # re-thresholding the whole matrix.
+                coo = child_delta.tocoo()
+                new_vals = self._values_at(child_new, coo.row, coo.col)
+                flips = (new_vals > 0).astype(np.float64) - (
+                    (new_vals - coo.data) > 0
+                )
+                mask = flips != 0
+                old = resized(old, n)
+                if not mask.any():
+                    return (old, zero, old)
+                d = self._entries_csr(
+                    coo.row[mask],
+                    coo.col[mask],
+                    flips[mask],
+                    n,
+                    old.indices.dtype,
+                )
+                return (apply_patch(old, d, n), d, old)
+            if kind == "nested":
+                child = resolve(node.children[0])
+                if child is _INVALID or old is None:
+                    return _INVALID
+                inner_delta = child[1]
+                if is_zero(inner_delta):
+                    return unchanged(old)
+                if inner_delta is None:
+                    return _INVALID
+                # Over nonnegative count matrices, diag{M (M^T > 0)}[i]
+                # is sum_j M[i, j] — the row sums — so the nested delta
+                # is just ΔM's row sums on the diagonal.  No products.
+                row_sums = np.asarray(inner_delta.sum(axis=1)).ravel()
+                rows = np.flatnonzero(row_sums)
+                old = resized(old, n)
+                if not len(rows):
+                    return (old, zero, old)
+                d = self._entries_csr(
+                    rows, rows, row_sums[rows], n, old.indices.dtype
+                )
+                return (apply_patch(old, d, n), d, old)
+            if kind == "star":
+                child = resolve(node.children[0])
+                if child is _INVALID or old is None:
+                    return _INVALID
+                child_delta = child[1]
+                if is_zero(child_delta):
+                    if not grew:
+                        return (old, zero, old)
+                    # New nodes only: the bounded power sum gains
+                    # exactly the identity's new diagonal ones.
+                    old = resized(old, n)
+                    return (apply_patch(old, ipatch, n), ipatch, old)
+                # A changed star base reshapes every power — rebuild.
+                return _INVALID
+            raise TypeError("unhandled plan node kind {!r}".format(node.kind))
+
+        patched = kept = invalidated = 0
+        new_cache = OrderedDict()
+        pad = np.zeros(n - delta.old_num_nodes, dtype=np.float64)
+        for plan in list(old_cache):
+            result = resolve(plan)
+            if result is _INVALID:
+                invalidated += 1
+                self._column_norms.pop(plan, None)
+                self._diagonals.pop(plan, None)
+                continue
+            new, d, _ = result
+            new_cache[plan] = new
+            if d is not None and d.nnz == 0:
+                kept += 1
+                if grew:
+                    # Unchanged values, larger shape: pad the derived
+                    # vectors (new columns are empty — zero norm/diag).
+                    diag = self._diagonals.get(plan)
+                    if diag is not None:
+                        self._diagonals[plan] = np.concatenate([diag, pad])
+                    norms = self._column_norms.get(plan)
+                    if norms is not None:
+                        self._column_norms[plan] = np.concatenate(
+                            [norms, pad]
+                        )
+                continue
+            patched += 1
+            diag = self._diagonals.get(plan)
+            if diag is not None:
+                if d is None:
+                    self._diagonals[plan] = new.diagonal()
+                else:
+                    if grew:
+                        diag = np.concatenate([diag, pad])
+                    self._diagonals[plan] = diag + d.diagonal()
+            self._column_norms.pop(plan, None)
+        # Sweep derived vectors whose matrix is gone (invalidated above,
+        # or orphaned by an eviction race): a vector with no cached
+        # matrix cannot be patched and must never be served stale.
+        for store in (self._column_norms, self._diagonals):
+            for plan in [key for key in store if key not in new_cache]:
+                del store[plan]
+        self._cache = new_cache
+        self._patched += patched
+        self._invalidated += invalidated
+        return {
+            "patched": patched,
+            "kept": kept,
+            "invalidated": invalidated,
+            "entries": len(new_cache),
+            "labels": sorted(patches),
+            "nodes_added": len(delta.added_nodes),
+        }
+
     def _plan_matrix(self, node):
         # Double-checked LRU access: look up under the lock, compute
         # outside it (sparse products can take seconds; holding the lock
         # would serialize every serving thread), publish under it.  Two
         # threads racing on a cold entry may both compute; the loser
         # adopts the published matrix, so callers always share one
-        # object per plan node.
-        with self._lock:
-            cached = self._cache.get(node)
-            if cached is not None:
-                self._hits += 1
-                self._cache.move_to_end(node)
-                return cached
-        computed = self._execute(node)
-        with self._lock:
-            cached = self._cache.get(node)
-            if cached is not None:
-                self._hits += 1
-                self._cache.move_to_end(node)
-                return cached
-            self._misses += 1
-            self._cache[node] = computed
-            self._evict()
-        return computed
+        # object per plan node.  A generation bump (apply_delta landed
+        # mid-compute) discards the now-stale result and recomputes
+        # against the patched snapshot.
+        while True:
+            with self._lock:
+                cached = self._cache.get(node)
+                if cached is not None:
+                    self._hits += 1
+                    self._cache.move_to_end(node)
+                    return cached
+                generation = self._generation
+            computed = self._execute(node)
+            with self._lock:
+                cached = self._cache.get(node)
+                if cached is not None:
+                    self._hits += 1
+                    self._cache.move_to_end(node)
+                    return cached
+                if self._generation != generation:
+                    continue
+                self._misses += 1
+                self._cache[node] = computed
+                self._evict()
+            return computed
+
+    @staticmethod
+    def _canonicalize(matrix):
+        # Published matrices are canonical CSR with no explicit zeros:
+        # dense_rows/pathsim_rows need sorted deduplicated buffers, and
+        # delta maintenance relies on a patched entry being structurally
+        # identical to a fresh rebuild (sparse matmul emits unsorted
+        # indices, so products must be normalized before caching).
+        # Canonicalizing at publish time also means no later caller ever
+        # sorts a cached matrix in place — buffers shared across forked
+        # engines stay frozen.
+        matrix = matrix.tocsr()
+        matrix.sum_duplicates()
+        matrix.eliminate_zeros()
+        return matrix
 
     def _execute(self, node):
         kind = node.kind
         if kind == "eps":
-            return self._view.identity()
-        if kind == "leaf":
-            return self._view.adjacency(node.payload)
-        if kind == "transpose":
-            return self._plan_matrix(node.children[0]).T.tocsr()
-        if kind == "chain":
+            result = self._view.identity()
+        elif kind == "leaf":
+            result = self._view.adjacency(node.payload)
+        elif kind == "transpose":
+            result = self._plan_matrix(node.children[0]).T.tocsr()
+        elif kind == "chain":
             self._ensure_ordered(node)
             left = self._plan_matrix(node.left)
             right = self._plan_matrix(node.right)
-            return (left @ right).tocsr()
-        if kind == "add":
-            total = self._plan_matrix(node.children[0])
+            result = (left @ right).tocsr()
+        elif kind == "add":
+            result = self._plan_matrix(node.children[0])
             for child in node.children[1:]:
-                total = total + self._plan_matrix(child)
-            return total.tocsr()
-        if kind == "hadamard":
-            product = self._plan_matrix(node.children[0])
+                result = result + self._plan_matrix(child)
+            result = result.tocsr()
+        elif kind == "hadamard":
+            result = self._plan_matrix(node.children[0])
             for child in node.children[1:]:
-                product = product.multiply(self._plan_matrix(child))
-            return product.tocsr()
-        if kind == "bool":
-            return boolean(self._plan_matrix(node.children[0]))
-        if kind == "nested":
+                result = result.multiply(self._plan_matrix(child))
+            result = result.tocsr()
+        elif kind == "bool":
+            result = boolean(self._plan_matrix(node.children[0]))
+        elif kind == "nested":
             inner = self._plan_matrix(node.children[0])
-            return diagonal_of(inner @ boolean(inner.T)).tocsr()
-        if kind == "star":
-            return _star_sum(
+            result = diagonal_of(inner @ boolean(inner.T)).tocsr()
+        elif kind == "star":
+            result = _star_sum(
                 self._view.identity(),
                 self._plan_matrix(node.children[0]),
                 self._max_star_depth,
                 node,
             )
-        raise TypeError("unhandled plan node kind {!r}".format(kind))
+        else:
+            raise TypeError("unhandled plan node kind {!r}".format(kind))
+        return self._canonicalize(result)
 
     def _leaf_nnz(self, label):
         return self._view.adjacency(label).nnz
@@ -379,8 +966,11 @@ class CommutingMatrixEngine:
         while len(self._cache) > self._max_cached:
             evicted, _ = self._cache.popitem(last=False)
             self._column_norms.pop(evicted, None)
+            self._diagonals.pop(evicted, None)
         while len(self._column_norms) > self._max_cached:
             self._column_norms.popitem(last=False)
+        while len(self._diagonals) > self._max_cached:
+            self._diagonals.popitem(last=False)
 
     def column_norms(self, pattern):
         """Euclidean norm of each column of ``M_pattern`` (cached).
@@ -389,31 +979,74 @@ class CommutingMatrixEngine:
         (instead of per algorithm instance) lets every algorithm built on
         the same engine — e.g. through one ``SimilaritySession`` — reuse
         the vector.  Keyed on the canonical plan node, like the matrix
-        cache.
+        cache.  Delta maintenance drops the entry when the pattern's
+        matrix changes, so a stale norm vector is never served.
         """
         plan = self.compile(pattern)
-        with self._lock:
-            norms = self._column_norms.get(plan)
-            if norms is not None:
-                self._refresh_norms_locked(plan)
-                return norms
-        matrix = self._plan_matrix(plan)
-        squared = matrix.multiply(matrix).sum(axis=0)
-        computed = np.sqrt(np.asarray(squared).ravel())
-        with self._lock:
-            norms = self._column_norms.get(plan)
-            if norms is not None:
-                self._refresh_norms_locked(plan)
-                return norms
-            self._column_norms[plan] = computed
-            self._evict()
-        return computed
+        while True:
+            with self._lock:
+                norms = self._column_norms.get(plan)
+                if norms is not None:
+                    self._refresh_derived_locked(plan, self._column_norms)
+                    return norms
+                generation = self._generation
+            matrix = self._plan_matrix(plan)
+            squared = matrix.multiply(matrix).sum(axis=0)
+            computed = np.sqrt(np.asarray(squared).ravel())
+            with self._lock:
+                norms = self._column_norms.get(plan)
+                if norms is not None:
+                    self._refresh_derived_locked(plan, self._column_norms)
+                    return norms
+                if self._generation != generation:
+                    continue
+                if plan in self._cache:
+                    # Only store alongside a cached matrix: a vector
+                    # published after a concurrent eviction would be
+                    # orphaned, and delta maintenance (which walks the
+                    # matrix cache) could then never patch or drop it.
+                    self._column_norms[plan] = computed
+                    self._evict()
+            return computed
 
-    def _refresh_norms_locked(self, plan):
-        self._column_norms.move_to_end(plan)
-        # A norms hit is a use of the pattern's matrix too: refresh
-        # its LRU slot so a hot pattern's matrix is not evicted out
-        # from under its surviving norms.
+    def diagonal(self, pattern):
+        """The main diagonal of ``M_pattern`` as a dense vector (cached).
+
+        The PathSim denominator terms (Equation 1).  Keyed on the
+        canonical plan node like the matrix cache, so every algorithm on
+        the engine shares one extraction per pattern, and prepared
+        queries re-pin it for free after a live update: delta
+        maintenance *patches* the vector (old + Δ.diagonal(), exact in
+        integer float64) instead of invalidating it.
+        """
+        plan = self.compile(pattern)
+        while True:
+            with self._lock:
+                diag = self._diagonals.get(plan)
+                if diag is not None:
+                    self._refresh_derived_locked(plan, self._diagonals)
+                    return diag
+                generation = self._generation
+            computed = self._plan_matrix(plan).diagonal()
+            with self._lock:
+                diag = self._diagonals.get(plan)
+                if diag is not None:
+                    self._refresh_derived_locked(plan, self._diagonals)
+                    return diag
+                if self._generation != generation:
+                    continue
+                if plan in self._cache:
+                    # Same orphan guard as column_norms: derived
+                    # vectors only live alongside their cached matrix.
+                    self._diagonals[plan] = computed
+                    self._evict()
+            return computed
+
+    def _refresh_derived_locked(self, plan, store):
+        store.move_to_end(plan)
+        # A derived-vector hit is a use of the pattern's matrix too:
+        # refresh its LRU slot so a hot pattern's matrix is not evicted
+        # out from under its surviving norms/diagonal.
         if plan in self._cache:
             self._cache.move_to_end(plan)
 
@@ -472,17 +1105,27 @@ class CommutingMatrixEngine:
     def cache_info(self):
         """Cache counters plus memory accounting.
 
-        Keys: ``matrices`` / ``column_norms`` (entry counts), ``hits`` /
-        ``misses``, ``max_cached``, and the size-based pair the LRU cap
-        can be tuned against — ``nnz`` (total stored nonzeros across
-        cached matrices) and ``bytes`` (approximate resident bytes of
-        matrices *and* norm vectors: CSR data + indices + indptr buffers
-        plus norm array buffers).
+        Keys: ``matrices`` / ``column_norms`` / ``diagonals`` (entry
+        counts), ``hits`` / ``misses``, ``max_cached``, the size-based
+        pair the LRU cap can be tuned against — ``nnz`` (total stored
+        nonzeros across cached matrices) and ``bytes`` (approximate
+        resident bytes of matrices *and* derived vectors: CSR data +
+        indices + indptr buffers plus norm/diagonal array buffers) —
+        and the delta-maintenance counters ``patched`` / ``invalidated``
+        / ``delta_applies``.
+
+        The accounting is live: patched matrices report their
+        post-patch buffers (cancelled entries are eliminated, never
+        counted as phantom nonzeros) and invalidated or evicted entries
+        drop out of every figure the moment they leave the cache.
         """
         with self._lock:
             matrices = list(self._cache.values())
             norm_vectors = list(self._column_norms.values())
+            diagonal_vectors = list(self._diagonals.values())
             hits, misses = self._hits, self._misses
+            patched, invalidated = self._patched, self._invalidated
+            delta_applies = self._delta_applies
         nnz = 0
         matrix_bytes = 0
         for matrix in matrices:
@@ -492,15 +1135,22 @@ class CommutingMatrixEngine:
                 + matrix.indices.nbytes
                 + matrix.indptr.nbytes
             )
-        norm_bytes = sum(norms.nbytes for norms in norm_vectors)
+        vector_bytes = sum(
+            vector.nbytes
+            for vector in itertools.chain(norm_vectors, diagonal_vectors)
+        )
         return {
             "matrices": len(matrices),
             "column_norms": len(norm_vectors),
+            "diagonals": len(diagonal_vectors),
             "hits": hits,
             "misses": misses,
             "max_cached": self._max_cached,
             "nnz": int(nnz),
-            "bytes": int(matrix_bytes + norm_bytes),
+            "bytes": int(matrix_bytes + vector_bytes),
+            "patched": patched,
+            "invalidated": invalidated,
+            "delta_applies": delta_applies,
         }
 
     # ------------------------------------------------------------------
@@ -634,7 +1284,11 @@ class CommutingMatrixEngine:
 
         Returns a dense ``(len(nodes), n)`` array whose row ``i`` equals
         :meth:`pathsim_scores_from` for ``nodes[i]`` — computed from one
-        sparse row slice plus the diagonal instead of per-query
-        extraction.
+        sparse row slice plus the engine-cached diagonal instead of
+        per-query extraction.
         """
-        return pathsim_rows(self.matrix(pattern), self.query_indices(nodes))
+        return pathsim_rows(
+            self.matrix(pattern),
+            self.query_indices(nodes),
+            self.diagonal(pattern),
+        )

@@ -106,6 +106,8 @@ class PlanNode:
         "split_at",
         "left",
         "right",
+        "labels",
+        "has_identity",
     )
 
     def __init__(self, kind, payload, children, uid):
@@ -119,6 +121,8 @@ class PlanNode:
         self.split_at = None
         self.left = None
         self.right = None
+        self.labels = None
+        self.has_identity = None
 
     def __str__(self):
         return self._str
@@ -444,6 +448,47 @@ def _order_chain_locked(node, leaf_nnz, n, compiler):
         return sub
 
     attach(0, k)
+
+
+def leaf_labels(node):
+    """The set of adjacency labels a plan's matrix depends on (memoized).
+
+    The delta-maintenance fast path: an edge delta touching only labels
+    outside ``leaf_labels(plan)`` cannot change the plan's matrix, so
+    the engine keeps the cached entry untouched without looking at it.
+    Memoized on the node (one compiler per engine, labels never change).
+    """
+    if node.labels is not None:
+        return node.labels
+    if node.kind == "leaf":
+        labels = frozenset((node.payload,))
+    elif node.kind == "eps":
+        labels = frozenset()
+    else:
+        labels = frozenset().union(
+            *(leaf_labels(child) for child in node.children)
+        )
+    node.labels = labels
+    return labels
+
+
+def embeds_identity(node):
+    """True when the plan's matrix contains an identity term (memoized).
+
+    ``eps`` and ``star`` matrices carry ``I`` explicitly, so growing the
+    node set changes them (new diagonal ones) even when no edge touches
+    the plan's labels; every other kind just gains all-zero rows and
+    columns.  Used by delta maintenance to patch the diagonal of
+    identity-bearing entries after node additions.
+    """
+    if node.has_identity is not None:
+        return node.has_identity
+    if node.kind in ("eps", "star"):
+        result = True
+    else:
+        result = any(embeds_identity(child) for child in node.children)
+    node.has_identity = result
+    return result
 
 
 def render_order(node):

@@ -46,7 +46,12 @@ state scoring would otherwise recompute or re-fetch per call (commuting
 matrices, diagonals, column norms); once pinned the state is immutable,
 which is what makes a prepared hot path safe to share across serving
 threads.  :class:`~repro.api.prepared.PreparedQuery` calls it during
-preparation.
+preparation.  Pinned state should come from the engine's caches
+(``engine.matrix`` / ``engine.diagonal`` / ``engine.column_norms``)
+rather than be derived ad hoc: those caches are *delta-maintained* —
+``SimilarityService``'s incremental live updates patch them in place —
+so re-pinning after an update is mostly identity reuse, recomputing
+only the entries whose inputs actually changed.
 """
 
 import numpy as np

@@ -79,11 +79,16 @@ class PathSim(SimilarityAlgorithm):
         self._view = self.engine.view
 
     def prepare_scoring(self):
-        """Pin the commuting matrix and its diagonal (idempotent)."""
+        """Pin the commuting matrix and its diagonal (idempotent).
+
+        The diagonal comes from the engine's cache, which delta
+        maintenance patches in place — re-pinning after a live update
+        reuses it unless the pattern's matrix actually changed.
+        """
         if self._prepared_state is None:
             matrix = self.engine.matrix(self.pattern)
             matrix.sum_duplicates()  # dense_rows needs canonical CSR
-            self._prepared_state = (matrix, matrix.diagonal())
+            self._prepared_state = (matrix, self.engine.diagonal(self.pattern))
         return self
 
     def score_rows(self, queries):

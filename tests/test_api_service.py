@@ -1,5 +1,6 @@
 """Tests for SimilarityService: live updates, concurrency, freshness."""
 
+import gc
 import threading
 
 import pytest
@@ -181,6 +182,131 @@ def test_dropped_handles_are_not_rebound(fig1):
     del drop
     service.apply(edges_added=[DELTA_EDGE])
     assert service.prepared_queries() == [keep]
+
+
+def test_incremental_apply_routes_and_stats(fig1):
+    service = SimilarityService(fig1)
+    prepared = service.prepare(
+        algorithm="relsim", pattern=PATTERN, top_k=10
+    )
+    before = {q: prepared.run(q).items() for q in QUERIES}
+    version = service.apply(edges_added=[DELTA_EDGE])  # small: incremental
+    assert version == 2
+    stats = service.delta_stats
+    assert stats["last_path"] == "incremental"
+    assert stats["incremental_applies"] == 1
+    mutated = fig1.copy()
+    mutated.add_edge(*DELTA_EDGE)
+    after = {q: prepared.run(q).items() for q in QUERIES}
+    assert after == _expected(mutated)
+    assert after != before
+    # Forcing the rebuild path produces the same state.
+    service.apply(edges_removed=[DELTA_EDGE], incremental=False)
+    assert service.delta_stats["last_path"] == "rebuild"
+    assert {q: prepared.run(q).items() for q in QUERIES} == _expected(fig1)
+
+
+def test_apply_nodes_added_and_failed_incremental_never_swaps(fig1):
+    service = SimilarityService(fig1)
+    version = service.apply(
+        nodes_added=[("FreshArea", "area")], incremental=True
+    )
+    assert version == 2
+    assert service.database.node_type("FreshArea") == "area"
+    with pytest.raises(UnknownEdgeError):
+        service.apply(
+            edges_removed=[("ghost", "r-a", "nowhere")], incremental=True
+        )
+    assert service.version == 2  # failed incremental delta never swaps
+
+
+def test_prepared_handles_survive_apply_cycles_with_gc(fig1):
+    # Weakref rebinding across many apply() cycles interleaved with
+    # explicit collections: live handles must keep being refreshed,
+    # dropped handles must not be resurrected or leak registry slots.
+    service = SimilarityService(fig1)
+    keep_a = service.prepare(algorithm="relsim", pattern=PATTERN, top_k=10)
+    keep_b = service.prepare(
+        algorithm="relsim", pattern="r-a-.r-a", top_k=10
+    )
+    transient = service.prepare(algorithm="pathsim", pattern=PATTERN)
+    for cycle in range(6):
+        if cycle == 2:
+            del transient
+        service.apply(
+            edges_added=[DELTA_EDGE]
+            if cycle % 2 == 0
+            else [],
+            edges_removed=[] if cycle % 2 == 0 else [DELTA_EDGE],
+            incremental=cycle % 3 != 2,
+        )
+        live = None  # drop the previous cycle's references first
+        gc.collect()
+        live = service.prepared_queries()
+        if cycle >= 2:
+            assert set(live) == {keep_a, keep_b}
+        # Every surviving handle serves the *current* snapshot.  (A
+        # plain computed list: assertion-rewriting temporaries inside
+        # the loop would otherwise pin the handles across iterations.)
+        stale = [h for h in live if h.session is not service.session]
+        assert not stale
+        live = None
+    gc.collect()
+    assert len(service._handles) == 2
+    mutated = fig1.copy()  # 6 cycles net out to the original database
+    assert {q: keep_a.run(q).items() for q in QUERIES} == _expected(mutated)
+
+
+def test_version_strictly_monotone_under_concurrent_apply_and_query(fig1):
+    service = SimilarityService(fig1)
+    prepared = service.prepare(
+        algorithm="relsim", pattern=PATTERN, top_k=10
+    )
+    applied_versions = []
+    observed = {i: [] for i in range(4)}
+    failures = []
+    stop = threading.Event()
+    barrier = threading.Barrier(5)
+
+    def mutate():
+        try:
+            barrier.wait(timeout=30)
+            for round_ in range(8):
+                applied_versions.append(
+                    service.apply(edges_added=[DELTA_EDGE])
+                )
+                applied_versions.append(
+                    service.apply(edges_removed=[DELTA_EDGE])
+                )
+        except Exception as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+        finally:
+            stop.set()
+
+    def query(slot):
+        try:
+            barrier.wait(timeout=30)
+            while not stop.is_set():
+                observed[slot].append(service.version)
+                prepared.run("DataMining")
+        except Exception as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+
+    threads = [threading.Thread(target=mutate)] + [
+        threading.Thread(target=query, args=(i,)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not failures, failures[:3]
+    # Applies return strictly increasing versions...
+    assert applied_versions == list(range(2, 18))
+    # ...and no reader ever observes the version moving backwards.
+    for slot, versions in observed.items():
+        assert versions == sorted(versions), "reader {} saw {}".format(
+            slot, versions[:20]
+        )
 
 
 def test_add_node_type_conflict_for_programmatic_mutation(fig1):

@@ -315,6 +315,90 @@ def test_serve_bench_infers_node_type(dblp_json):
     assert "type 'paper'" in output
 
 
+def test_serve_bench_with_delta_flags_serves_post_delta_snapshot(dblp_json):
+    # The CLI serving path on a post-delta snapshot: the delta routes
+    # through SimilarityService's incremental apply, and the benchmark
+    # then runs (with identical per-call vs prepared results) on the
+    # patched snapshot.
+    code, output = run_cli(
+        [
+            "serve-bench",
+            dblp_json,
+            "--pattern",
+            "r-a-.p-in.p-in-.r-a",
+            "--queries",
+            "4",
+            "--threads",
+            "2",
+            "--node-type",
+            "area",
+            "--add-edge",
+            "paper:0,p-in,proc:0",
+            "--remove-edge",
+            "paper:0,p-in,proc:2",
+        ]
+    )
+    assert code == 0
+    assert "applied delta (+1 / -1 edges) via incremental path" in output
+    assert "snapshot version 2" in output
+    assert "results identical      : yes" in output
+
+
+def test_serve_bench_delta_flag_validation(dblp_json):
+    code, _ = run_cli(
+        [
+            "serve-bench",
+            dblp_json,
+            "--pattern",
+            "p-in.p-in-",
+            "--add-edge",
+            "not-an-edge",
+        ]
+    )
+    assert code == 2
+    # Removing an absent edge fails the whole command, serving nothing.
+    code, _ = run_cli(
+        [
+            "serve-bench",
+            dblp_json,
+            "--pattern",
+            "p-in.p-in-",
+            "--remove-edge",
+            "ghost,p-in,nowhere",
+        ]
+    )
+    assert code == 2
+
+
+def test_explain_with_delta_flags_plans_post_delta_snapshot(dblp_json):
+    baseline_code, baseline = run_cli(
+        ["explain", dblp_json, "--pattern", "p-in.p-in-"]
+    )
+    code, output = run_cli(
+        [
+            "explain",
+            dblp_json,
+            "--pattern",
+            "p-in.p-in-",
+            "--add-edge",
+            "paper:1,p-in,proc:2",
+        ]
+    )
+    assert baseline_code == 0 and code == 0
+    assert "applied delta (+1 / -0 edges) via incremental path" in output
+    assert "compiled plan: 1 pattern" in output
+    # The report is computed on the post-delta snapshot: the p-in leaf
+    # gained an edge, so the estimated nnz differs from the baseline.
+    baseline_estimate = [
+        line for line in baseline.splitlines() if "est nnz" in line
+    ]
+    delta_estimate = [
+        line for line in output.splitlines() if "est nnz" in line
+    ]
+    assert baseline_estimate and delta_estimate
+    assert baseline_estimate != delta_estimate
+
+
 def test_serve_bench_rejects_pattern_for_topology_algorithms(dblp_json):
     code, _ = run_cli(
         [

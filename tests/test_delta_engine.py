@@ -1,0 +1,385 @@
+"""Delta maintenance below the service: database, view, and engine.
+
+The parity fuzz suite (``test_delta_parity.py``) checks end-to-end
+rankings; these tests pin down the layer contracts it rests on —
+batch-delta validation atomicity, in-place view patching with scoped
+candidate invalidation, exact engine propagation with shared sub-plans
+resolved once, threshold-based invalidation, and live ``cache_info``
+accounting after patches and invalidations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dblp
+from repro.exceptions import (
+    NodeTypeConflictError,
+    UnknownEdgeError,
+    UnknownLabelError,
+)
+from repro.graph.matrices import MatrixView, resized
+from repro.lang.matrix_semantics import CommutingMatrixEngine
+from repro.lang.parser import parse_pattern
+
+PATTERNS = [
+    "r-a-.p-in.p-in-.r-a",
+    "p-in.p-in-",
+    "w-.w",
+    "<<p-in.p-in->>",
+    "[r-a-.p-in]",
+    "w*",
+    "r-a-.r-a + p-in.p-in-",
+    "r-a-.<<p-in.p-in->>.r-a",
+]
+
+
+@pytest.fixture
+def dblp():
+    return generate_dblp(
+        num_areas=4, num_procs=8, num_papers=60, num_authors=30, seed=3
+    ).database
+
+
+def _structurally_equal(a, b):
+    return (
+        a.shape == b.shape
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.data, b.data)
+    )
+
+
+def _some_missing_edge(database, label, sources, targets):
+    for source in sources:
+        for target in targets:
+            if not database.has_edge(source, label, target):
+                return (source, label, target)
+    raise AssertionError("no missing edge found")
+
+
+# ----------------------------------------------------------------------
+# GraphDatabase.apply_delta
+# ----------------------------------------------------------------------
+def test_database_apply_delta_validates_before_mutating(dblp):
+    present = sorted(dblp.edges("p-in"))[0]
+    edges_before = dblp.edge_set()
+    nodes_before = set(dblp.nodes())
+    # Unknown label in additions: nothing applied.
+    with pytest.raises(UnknownLabelError):
+        dblp.apply_delta(
+            edges_added=[("a", "no-such-label", "b")],
+            edges_removed=[present],
+        )
+    # Absent (and doubly-removed) edges: nothing applied.
+    with pytest.raises(UnknownEdgeError):
+        dblp.apply_delta(
+            edges_added=[("x", "p-in", "y")],
+            edges_removed=[("ghost", "p-in", "nowhere")],
+        )
+    with pytest.raises(UnknownEdgeError):
+        dblp.apply_delta(edges_removed=[present, present])
+    # Node-type conflicts: nothing applied.
+    with pytest.raises(NodeTypeConflictError):
+        dblp.apply_delta(nodes_added=[(present[0], "area")])
+    assert dblp.edge_set() == edges_before
+    assert set(dblp.nodes()) == nodes_before
+
+
+def test_database_apply_delta_reports_effective_changes(dblp):
+    papers = dblp.nodes_of_type("paper")
+    procs = dblp.nodes_of_type("proc")
+    present = sorted(dblp.edges("p-in"))[0]
+    missing = _some_missing_edge(dblp, "p-in", papers, procs)
+    added, removed, new_nodes = dblp.apply_delta(
+        # A present edge is a set-semantics no-op and not reported; an
+        # edge with fresh endpoints reports the endpoints as new nodes.
+        edges_added=[missing, sorted(dblp.edges("w"))[0],
+                     ("fresh:paper", "p-in", procs[0])],
+        edges_removed=[present],
+        nodes_added=["loose", ("typed", "proc")],
+    )
+    assert added == [missing, ("fresh:paper", "p-in", procs[0])]
+    assert removed == [present]
+    assert new_nodes == ["loose", "typed", "fresh:paper"]
+    assert not dblp.has_edge(*present)
+    assert dblp.has_edge(*missing)
+    assert dblp.node_type("typed") == "proc"
+    # Removing and re-adding in one batch nets out.
+    added, removed, _ = dblp.apply_delta(
+        edges_added=[missing], edges_removed=[missing]
+    )
+    assert added == [missing] and removed == [missing]
+    assert dblp.has_edge(*missing)
+
+
+# ----------------------------------------------------------------------
+# MatrixView.apply_delta
+# ----------------------------------------------------------------------
+def test_database_apply_delta_self_loop_on_new_node_reported_once(dblp):
+    added, _, new_nodes = dblp.apply_delta(
+        edges_added=[("loop:new", "w", "loop:new")]
+    )
+    assert added == [("loop:new", "w", "loop:new")]
+    assert new_nodes == ["loop:new"]
+
+
+def test_view_apply_delta_self_loop_on_new_node(dblp):
+    view = MatrixView(dblp)
+    view.adjacency("w")
+    delta = view.apply_delta(edges_added=[("loop:new", "w", "loop:new")])
+    assert delta.added_nodes == ["loop:new"]
+    fresh = MatrixView(dblp)
+    assert view.indexer.ids == fresh.indexer.ids
+    assert _structurally_equal(view.adjacency("w"), fresh.adjacency("w"))
+
+
+def test_view_apply_delta_matches_fresh_adjacency(dblp):
+    view = MatrixView(dblp)
+    for label in ("w", "p-in", "r-a"):
+        view.adjacency(label)
+    present = sorted(dblp.edges("p-in"))[0]
+    missing = _some_missing_edge(
+        dblp, "r-a", dblp.nodes_of_type("paper"), dblp.nodes_of_type("area")
+    )
+    delta = view.apply_delta(
+        edges_added=[missing, ("new:paper", "p-in", present[2])],
+        edges_removed=[present],
+    )
+    assert sorted(delta.patches) == ["p-in", "r-a"]
+    assert delta.grew and delta.added_nodes == ["new:paper"]
+    fresh = MatrixView(dblp)
+    assert view.indexer.ids == fresh.indexer.ids
+    for label in ("w", "p-in", "r-a"):
+        assert _structurally_equal(
+            view.adjacency(label), fresh.adjacency(label)
+        )
+
+
+def test_view_candidate_invalidation_scoped_to_affected_types(dblp):
+    view = MatrixView(dblp)
+    paper_index = view.candidate_index("paper")
+    proc_index = view.candidate_index("proc")
+    all_index = view.candidate_index(None)
+    # Edge-only delta: every candidate list untouched (same objects).
+    edge = sorted(dblp.edges("p-in"))[0]
+    view.apply_delta(edges_removed=[edge])
+    assert view.candidate_index("paper") is paper_index
+    assert view.candidate_index("proc") is proc_index
+    assert view.candidate_index(None) is all_index
+    # Adding a proc node: proc and all-nodes lists drop, paper survives.
+    view.apply_delta(nodes_added=[("proc:new", "proc")])
+    assert view.candidate_index("paper") is paper_index
+    assert view.candidate_index("proc") is not proc_index
+    assert view.candidate_index(None) is not all_index
+    assert "proc:new" in view.candidate_index("proc")[0]
+
+
+def test_view_retyping_untyped_node_invalidates_new_types_candidates(dblp):
+    dblp.add_node("untyped:0")
+    view = MatrixView(dblp)
+    proc_index = view.candidate_index("proc")
+    paper_index = view.candidate_index("paper")
+    assert "untyped:0" not in proc_index[0]
+    # Upgrading the untyped node to "proc" changes no node count, but
+    # it joins the proc candidate list — the list must be rebuilt.
+    view.apply_delta(nodes_added=[("untyped:0", "proc")])
+    assert "untyped:0" in view.candidate_index("proc")[0]
+    assert view.candidate_index("paper") is paper_index  # still scoped
+    fresh = MatrixView(dblp)
+    assert view.candidate_index("proc")[0] == fresh.candidate_index("proc")[0]
+
+
+def test_engine_delta_sweeps_orphaned_derived_vectors(dblp):
+    engine, _ = _loaded_engine(dblp)
+    pattern = parse_pattern("p-in.p-in-")
+    plan = engine.compile(pattern)
+    # Simulate the eviction race: a derived vector whose matrix is no
+    # longer cached must be dropped by the next delta pass, never
+    # patched-in-place against nothing or served stale.
+    with engine._lock:
+        del engine._cache[plan]
+        assert plan in engine._diagonals
+    edge = sorted(dblp.edges("p-in"))[0]
+    engine.apply_delta(edges_removed=[edge])
+    with engine._lock:
+        assert plan not in engine._diagonals
+        assert plan not in engine._column_norms
+    assert np.array_equal(
+        engine.diagonal(pattern), CommutingMatrixEngine(dblp).diagonal(pattern)
+    )
+
+
+def test_view_fork_isolates_the_original(dblp):
+    view = MatrixView(dblp)
+    original = view.adjacency("p-in")
+    forked_db = dblp.copy()
+    fork = view.fork(forked_db)
+    edge = sorted(dblp.edges("p-in"))[0]
+    fork.apply_delta(edges_removed=[edge])
+    assert view.adjacency("p-in") is original  # untouched, same object
+    assert dblp.has_edge(*edge)
+    assert not forked_db.has_edge(*edge)
+    assert fork.adjacency("p-in").nnz == original.nnz - 1
+
+
+# ----------------------------------------------------------------------
+# CommutingMatrixEngine.apply_delta
+# ----------------------------------------------------------------------
+def _loaded_engine(database, **engine_options):
+    engine = CommutingMatrixEngine(database, **engine_options)
+    patterns = [parse_pattern(text) for text in PATTERNS]
+    engine.matrices_many(patterns)
+    for pattern in patterns[:4]:
+        engine.diagonal(pattern)
+        engine.column_norms(pattern)
+    return engine, patterns
+
+
+def test_engine_apply_delta_matches_fresh_engine(dblp):
+    engine, patterns = _loaded_engine(dblp)
+    present = sorted(dblp.edges("p-in"))[0]
+    missing = _some_missing_edge(
+        dblp, "r-a", dblp.nodes_of_type("paper"), dblp.nodes_of_type("area")
+    )
+    entries = engine.cache_size()
+    stats = engine.apply_delta(
+        edges_added=[missing, ("new:paper", "p-in", present[2])],
+        edges_removed=[present],
+        nodes_added=[("new:proc", "proc")],
+    )
+    assert stats["patched"] + stats["kept"] + stats["invalidated"] == entries
+    assert stats["nodes_added"] == 2
+    fresh = CommutingMatrixEngine(dblp)
+    for pattern in patterns:
+        assert _structurally_equal(
+            engine.matrix(pattern), fresh.matrix(pattern)
+        )
+        assert np.array_equal(
+            engine.diagonal(pattern), fresh.diagonal(pattern)
+        )
+        assert np.array_equal(
+            engine.column_norms(pattern), fresh.column_norms(pattern)
+        )
+
+
+def test_engine_delta_resolves_shared_subchains_once(dblp):
+    engine, _ = _loaded_engine(dblp)
+    entries = engine.cache_size()
+    edge = sorted(dblp.edges("p-in"))[0]
+    stats = engine.apply_delta(edges_removed=[edge])
+    # Every cache entry is accounted exactly once per delta pass.
+    assert stats["patched"] + stats["kept"] + stats["invalidated"] == entries
+    assert stats["entries"] == entries - stats["invalidated"]
+
+
+def test_engine_zero_threshold_invalidates_then_recomputes_exactly(dblp):
+    engine, patterns = _loaded_engine(dblp, delta_rebuild_threshold=0.0)
+    edge = sorted(dblp.edges("p-in"))[0]
+    stats = engine.apply_delta(edges_removed=[edge])
+    assert stats["invalidated"] > 0  # every touched product is dropped
+    fresh = CommutingMatrixEngine(dblp)
+    for pattern in patterns:  # lazily recomputed entries are exact
+        assert _structurally_equal(
+            engine.matrix(pattern), fresh.matrix(pattern)
+        )
+
+
+def test_engine_star_with_changed_base_is_invalidated_not_stale(dblp):
+    engine = CommutingMatrixEngine(dblp)
+    star = parse_pattern("w*")
+    engine.matrix(star)
+    authors = dblp.nodes_of_type("author")
+    papers = dblp.nodes_of_type("paper")
+    missing = _some_missing_edge(dblp, "w", authors, papers)
+    stats = engine.apply_delta(edges_added=[missing])
+    assert stats["invalidated"] >= 1
+    assert _structurally_equal(
+        engine.matrix(star), CommutingMatrixEngine(dblp).matrix(star)
+    )
+
+
+def test_engine_fork_leaves_parent_serving_old_snapshot(dblp):
+    engine, patterns = _loaded_engine(dblp)
+    reference = {p: engine.matrix(p) for p in patterns}
+    fork = engine.fork(dblp.copy())
+    edge = sorted(dblp.edges("p-in"))[0]
+    fork.apply_delta(edges_removed=[edge])
+    for pattern in patterns:
+        assert engine.matrix(pattern) is reference[pattern]
+    assert dblp.has_edge(*edge)
+    changed = parse_pattern("p-in.p-in-")
+    assert not _structurally_equal(
+        fork.matrix(changed), engine.matrix(changed)
+    )
+
+
+# ----------------------------------------------------------------------
+# cache_info accuracy (no stale accounting after patches/evictions)
+# ----------------------------------------------------------------------
+def _expected_accounting(engine):
+    with engine._lock:
+        matrices = list(engine._cache.values())
+        vectors = list(engine._column_norms.values()) + list(
+            engine._diagonals.values()
+        )
+    nnz = sum(matrix.nnz for matrix in matrices)
+    size = sum(
+        matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        for matrix in matrices
+    ) + sum(vector.nbytes for vector in vectors)
+    return nnz, size
+
+
+def test_cache_info_accurate_after_patches_and_invalidations(dblp):
+    engine, patterns = _loaded_engine(dblp)
+    present = sorted(dblp.edges("p-in"))[0]
+    engine.apply_delta(edges_removed=[present])
+    info = engine.cache_info()
+    nnz, size = _expected_accounting(engine)
+    assert info["nnz"] == nnz
+    assert info["bytes"] == size
+    assert info["delta_applies"] == 1
+    assert info["patched"] > 0
+    # The patched totals must equal what a fresh engine would hold for
+    # the same cached plans — no phantom nonzeros from cancelled
+    # entries, no stale buffers from replaced matrices.
+    fresh = CommutingMatrixEngine(dblp)
+    fresh_total = 0
+    with engine._lock:
+        plans = list(engine._cache)
+    for plan in plans:
+        fresh_total += fresh._plan_matrix(plan).nnz
+    assert info["nnz"] == fresh_total
+    # Invalidated entries drop out of the figures immediately.
+    strict = _loaded_engine(dblp, delta_rebuild_threshold=0.0)[0]
+    before = strict.cache_info()
+    stats = strict.apply_delta(edges_added=[present])
+    after = strict.cache_info()
+    assert stats["invalidated"] > 0
+    assert after["matrices"] == before["matrices"] - stats["invalidated"]
+    nnz, size = _expected_accounting(strict)
+    assert after["nnz"] == nnz and after["bytes"] == size
+
+
+def test_cache_info_accurate_after_lru_eviction(dblp):
+    engine = CommutingMatrixEngine(dblp, max_cached_matrices=2)
+    for text in ("p-in.p-in-", "w-.w", "r-a-.r-a"):
+        engine.matrix(parse_pattern(text))
+        engine.diagonal(parse_pattern(text))
+    info = engine.cache_info()
+    assert info["matrices"] <= 2 and info["diagonals"] <= 2
+    nnz, size = _expected_accounting(engine)
+    assert info["nnz"] == nnz and info["bytes"] == size
+
+
+def test_resized_preserves_values_and_shares_buffers(dblp):
+    view = MatrixView(dblp)
+    matrix = view.adjacency("p-in")
+    grown = resized(matrix, matrix.shape[0] + 5)
+    assert grown.shape == (matrix.shape[0] + 5, matrix.shape[0] + 5)
+    assert grown.data is matrix.data  # no copy of the entry buffers
+    assert np.array_equal(
+        grown.toarray()[: matrix.shape[0], : matrix.shape[1]],
+        matrix.toarray(),
+    )
+    assert grown.toarray()[matrix.shape[0]:, :].sum() == 0

@@ -1,0 +1,198 @@
+"""Delta-fuzz parity: incremental maintenance == fresh build, bitwise.
+
+The incremental live-update path patches cached commuting matrices,
+diagonals, norms, candidate indexes, and prepared scoring state instead
+of rebuilding them.  The claim backing it is *exactness*: commuting
+matrices hold integer counts (exact in float64), so sparse delta
+propagation produces bitwise-identical state — and therefore bitwise-
+identical rankings — to a session built from scratch.
+
+This suite fuzzes that claim: seeded random sequences of add-edge /
+remove-edge / add-node deltas are applied through a
+:class:`SimilarityService` forced onto the incremental path, and after
+**every** step the rankings served by every registered algorithm's live
+prepared handle must equal — item for item, score bit for score bit —
+those of a fresh :class:`SimilaritySession` built on the same database.
+
+Tunables (the CI ``delta-fuzz`` job raises them):
+
+* ``REPRO_DELTA_FUZZ_STEPS`` — delta steps per run (default 6)
+* ``REPRO_DELTA_FUZZ_SEED``  — base RNG seed (default 0)
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.api import SimilarityService, SimilaritySession, available_algorithms
+from repro.datasets import generate_dblp
+
+STEPS = int(os.environ.get("REPRO_DELTA_FUZZ_STEPS", "6"))
+SEED = int(os.environ.get("REPRO_DELTA_FUZZ_SEED", "0"))
+TOP_K = 10
+
+#: One prepared-query spec per registered algorithm (plus the
+#: Algorithm-1 expansion variant of RelSim, which exercises the
+#: expansion-reuse path of incremental re-binding).  Patterns are
+#: area-to-area or proc-to-proc relationships over the DBLP schema.
+SPECS = [
+    ("relsim", {"pattern": "r-a-.p-in.p-in-.r-a"}),
+    (
+        "relsim",
+        {
+            "pattern": "r-a-.p-in.p-in-.r-a",
+            "expand": {"max_patterns": 8},
+        },
+    ),
+    ("pathsim", {"pattern": "p-in.p-in-"}),
+    ("hetesim", {"pattern": "p-in-.p-in", "answer_type": "proc"}),
+    ("rwr", {}),
+    ("simrank", {}),
+    ("pattern-rwr", {"pattern": "p-in.p-in-"}),
+    ("pattern-simrank", {"pattern": "p-in.p-in-"}),
+    ("common-neighbors", {}),
+    ("katz", {}),
+]
+
+
+def _tiny_dblp(seed):
+    return generate_dblp(
+        num_areas=3, num_procs=6, num_papers=36, num_authors=20, seed=seed
+    ).database
+
+
+def _random_delta(rng, database, step):
+    """1-3 random mutations, valid against the current database."""
+    papers = database.nodes_of_type("paper")
+    procs = database.nodes_of_type("proc")
+    areas = database.nodes_of_type("area")
+    authors = database.nodes_of_type("author")
+    edges_added, edges_removed, nodes_added = [], [], []
+    for _ in range(rng.randint(1, 3)):
+        operation = rng.choice(("add", "add", "remove", "node"))
+        if operation == "add":
+            label = rng.choice(("w", "p-in", "r-a"))
+            if label == "w":
+                edge = (rng.choice(authors), "w", rng.choice(papers))
+            elif label == "p-in":
+                edge = (rng.choice(papers), "p-in", rng.choice(procs))
+            else:
+                edge = (rng.choice(papers), "r-a", rng.choice(areas))
+            if not database.has_edge(*edge) and edge not in edges_added:
+                edges_added.append(edge)
+        elif operation == "remove":
+            label = rng.choice(("w", "p-in", "r-a"))
+            edges = sorted(database.edges(label))
+            if edges:
+                edge = rng.choice(edges)
+                if edge not in edges_removed:
+                    edges_removed.append(edge)
+        else:
+            node_type = rng.choice(("paper", "proc", "area", None))
+            node = "fuzz:{}:{}".format(step, len(nodes_added))
+            nodes_added.append((node, node_type))
+            if node_type == "paper":
+                # Wire the newcomer in so it can influence rankings.
+                edges_added.append((node, "p-in", rng.choice(procs)))
+    return edges_added, edges_removed, nodes_added
+
+
+def _prepare_all(target):
+    return [
+        target.prepare(algorithm=name, top_k=TOP_K, **options)
+        for name, options in SPECS
+    ]
+
+
+def _queries(database, rng):
+    procs = sorted(database.nodes_of_type("proc"))
+    areas = sorted(database.nodes_of_type("area"))
+    return rng.sample(areas, min(2, len(areas))) + rng.sample(
+        procs, min(3, len(procs))
+    )
+
+
+def _expected_queries(spec_options, queries, database):
+    # HeteSim's proc-to-proc meta-path only answers proc queries; every
+    # other spec answers any typed query.
+    if spec_options.get("answer_type") == "proc":
+        return [q for q in queries if database.node_type(q) == "proc"]
+    return queries
+
+
+def test_all_specs_cover_every_registered_algorithm():
+    assert {name for name, _ in SPECS} == set(available_algorithms())
+
+
+@pytest.mark.parametrize("seed", [SEED, SEED + 1])
+def test_delta_fuzz_incremental_parity_all_algorithms(seed):
+    rng = random.Random(seed)
+    database = _tiny_dblp(seed)
+    service = SimilarityService(database)
+    prepared = _prepare_all(service)
+
+    for step in range(STEPS):
+        edges_added, edges_removed, nodes_added = _random_delta(
+            rng, service.database, step
+        )
+        version = service.apply(
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+            nodes_added=nodes_added,
+            incremental=True,
+        )
+        assert version == step + 2
+        assert service.delta_stats["last_path"] == "incremental"
+
+        fresh = SimilaritySession(service.database)
+        fresh_prepared = _prepare_all(fresh)
+        queries = _queries(service.database, rng)
+        for (name, options), live, reference in zip(
+            SPECS, prepared, fresh_prepared
+        ):
+            for query in _expected_queries(
+                options, queries, service.database
+            ):
+                live_items = live.run(query).items()
+                reference_items = reference.run(query).items()
+                assert live_items == reference_items, (
+                    "step {} algorithm {!r} query {!r}: incremental "
+                    "ranking diverged from fresh build".format(
+                        step, name, query
+                    )
+                )
+
+
+def test_delta_fuzz_mixed_incremental_and_rebuild_paths():
+    """Interleaving forced rebuilds with incremental applies stays exact."""
+    rng = random.Random(SEED + 17)
+    database = _tiny_dblp(SEED + 17)
+    service = SimilarityService(database)
+    prepared = service.prepare(
+        algorithm="relsim",
+        pattern="r-a-.p-in.p-in-.r-a",
+        expand={"max_patterns": 8},
+        top_k=TOP_K,
+    )
+    for step in range(STEPS):
+        edges_added, edges_removed, nodes_added = _random_delta(
+            rng, service.database, step
+        )
+        service.apply(
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+            nodes_added=nodes_added,
+            incremental=step % 2 == 0,
+        )
+        fresh = SimilaritySession(service.database)
+        reference = fresh.prepare(
+            algorithm="relsim",
+            pattern="r-a-.p-in.p-in-.r-a",
+            expand={"max_patterns": 8},
+            top_k=TOP_K,
+        )
+        for query in sorted(service.database.nodes_of_type("area")):
+            assert prepared.run(query).items() == reference.run(query).items()
+    stats = service.delta_stats
+    assert stats["incremental_applies"] + stats["full_rebuilds"] == STEPS
