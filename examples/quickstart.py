@@ -13,12 +13,18 @@ This walks the paper's Figure-1 example end to end:
    Theorem-2-translated RRE pattern — returns exactly the same ranking;
 5. serve the query shape: prepare once, run per node on pinned state,
    and absorb a live edge update through ``SimilarityService``'s atomic
-   snapshot swap.
+   snapshot swap;
+6. serve it over the network: boot the HTTP front-end on a free port
+   and ask the same question with a JSON request.
 
 Run:  python examples/quickstart.py
 """
 
+import json
+import urllib.request
+
 from repro import SimilarityService, SimilaritySession, parse_pattern
+from repro.server import BackgroundServer
 from repro.transform import dblp2sigm, map_pattern
 from repro.datasets import figure1_dblp
 
@@ -121,6 +127,30 @@ def main():
         "RelSim (prepared, v{} after live update)".format(service.version),
         prepared.run(query),
     )
+    print()
+
+    # ------------------------------------------------------------------
+    # 6. Over the network: the same service behind the asyncio HTTP
+    #    front-end (what `repro serve` runs).  port=0 binds a free
+    #    port; concurrent /query requests would coalesce into batches.
+    # ------------------------------------------------------------------
+    with BackgroundServer(service, prepared, port=0) as server:
+        url = "http://{}:{}/query".format(*server.address)
+        response = urllib.request.urlopen(
+            urllib.request.Request(
+                url, data=json.dumps({"node": query}).encode()
+            ),
+            timeout=30,
+        )
+        answer = json.loads(response.read())
+    print("HTTP POST /query {!r} (version {}):".format(
+        query, answer["version"]
+    ))
+    for node, score in answer["ranking"]:
+        print("    {:<22s} {:.4f}".format(node, score))
+    assert answer["ranking"] == [
+        [node, score] for node, score in prepared.run(query).items()
+    ], "the wire answer must match the in-process one"
 
 
 if __name__ == "__main__":

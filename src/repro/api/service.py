@@ -30,6 +30,7 @@ Mutations are serialized by an internal lock; queries never take it.
 """
 
 import threading
+import time
 import weakref
 
 from repro.api.session import SimilaritySession
@@ -58,6 +59,20 @@ class SimilarityService:
         mutate it afterwards).
     copy:
         Whether to privately copy ``database`` (default True).
+    session:
+        Alternatively, adopt an already-built
+        :class:`SimilaritySession` as the first snapshot — the
+        warm-start path (:func:`repro.server.snapshot.load_service`
+        hands over a session whose engine cache was preloaded from
+        disk).  Mutually exclusive with ``database``; the session is
+        trusted to be private (nobody else mutates its database).
+    checkpoint:
+        Optional ``callable(service, version)`` invoked after every
+        *successful* ``apply``/``swap``, once the new snapshot is
+        published — the persistence hook (``repro serve`` wires it to
+        :func:`~repro.server.snapshot.save_snapshot`).  A checkpoint
+        failure never un-publishes the swap; it is recorded in
+        :attr:`last_error` instead.
     **session_options:
         Forwarded to every :class:`SimilaritySession` the service
         builds, now and after each swap (``max_star_depth``,
@@ -81,19 +96,33 @@ class SimilarityService:
 
     def __init__(
         self,
-        database,
+        database=None,
         copy=True,
         incremental_threshold=DEFAULT_INCREMENTAL_THRESHOLD,
+        session=None,
+        checkpoint=None,
         **session_options,
     ):
         self._session_options = dict(session_options)
         self._incremental_threshold = incremental_threshold
-        snapshot_db = database.copy() if copy else database
-        self._snapshot = _Snapshot(
-            SimilaritySession(snapshot_db, **self._session_options), 1
-        )
+        if session is not None:
+            if database is not None:
+                raise EvaluationError(
+                    "pass either database= or session=, not both"
+                )
+            initial = session
+        else:
+            if database is None:
+                raise EvaluationError(
+                    "SimilarityService needs a database= or session="
+                )
+            snapshot_db = database.copy() if copy else database
+            initial = SimilaritySession(snapshot_db, **self._session_options)
+        self._snapshot = _Snapshot(initial, 1)
         self._mutate_lock = threading.RLock()
         self._handles = []
+        self._last_error = None
+        self.checkpoint = checkpoint
         self._delta_stats = {
             "incremental_applies": 0,
             "full_rebuilds": 0,
@@ -128,6 +157,51 @@ class SimilarityService:
                 for handle in (ref() for ref in self._handles)
                 if handle is not None
             ]
+
+    @property
+    def last_error(self):
+        """The most recent *asynchronous* failure, or ``None``.
+
+        Background ``apply``/``swap`` threads (``wait=False``) and
+        checkpoint callbacks fail where no caller is waiting; besides
+        the per-thread ``thread.error`` record, the service keeps the
+        most recent such failure here so operators can see it —
+        ``/healthz`` reports it and flips its status to ``degraded``.
+        A dict with ``operation`` (``"apply"`` / ``"swap"`` /
+        ``"checkpoint"``), ``error`` (the exception), ``message``,
+        ``time`` (unix), and ``version`` (the serving version when the
+        failure was recorded).  Sticky until the next failure
+        overwrites it or :meth:`clear_last_error` is called.
+        """
+        with self._mutate_lock:
+            record = self._last_error
+            return dict(record) if record is not None else None
+
+    def clear_last_error(self):
+        """Acknowledge (drop) the :attr:`last_error` record."""
+        with self._mutate_lock:
+            self._last_error = None
+
+    def _record_error(self, operation, error):
+        with self._mutate_lock:
+            self._last_error = {
+                "operation": operation,
+                "error": error,
+                "message": "{}: {}".format(type(error).__name__, error),
+                "time": time.time(),
+                "version": self._snapshot.version,
+            }
+
+    def _checkpoint_after(self, version):
+        # The swap is already published; a checkpoint failure degrades
+        # durability (a restart warm-starts from the previous snapshot)
+        # but must not fail the apply, so it is recorded, not raised.
+        if self.checkpoint is None:
+            return
+        try:
+            self.checkpoint(self, version)
+        except Exception as error:
+            self._record_error("checkpoint", error)
 
     @property
     def delta_stats(self):
@@ -239,7 +313,8 @@ class SimilarityService:
                     edges_removed,
                     nodes_added,
                     incremental=incremental,
-                )
+                ),
+                operation="apply",
             )
         with self._mutate_lock:
             if incremental is None:
@@ -249,16 +324,19 @@ class SimilarityService:
                 threshold = self._incremental_threshold
                 incremental = threshold is not None and size <= threshold
             if incremental:
-                return self._apply_incremental_locked(
+                version = self._apply_incremental_locked(
                     edges_added, edges_removed, nodes_added
                 )
-            database = self._snapshot.session.database.copy()
-            database.apply_delta(
-                edges_added=edges_added,
-                edges_removed=edges_removed,
-                nodes_added=nodes_added,
-            )
-            return self._swap_locked(database)
+            else:
+                database = self._snapshot.session.database.copy()
+                database.apply_delta(
+                    edges_added=edges_added,
+                    edges_removed=edges_removed,
+                    nodes_added=nodes_added,
+                )
+                version = self._swap_locked(database)
+            self._checkpoint_after(version)
+            return version
 
     def swap(self, database, wait=True):
         """Replace the whole database (copied) and swap atomically.
@@ -269,12 +347,15 @@ class SimilarityService:
         with ``wait=False``).
         """
         if not wait:
-            return self._in_background(lambda: self.swap(database))
+            return self._in_background(
+                lambda: self.swap(database), operation="swap"
+            )
         with self._mutate_lock:
-            return self._swap_locked(database.copy())
+            version = self._swap_locked(database.copy())
+            self._checkpoint_after(version)
+            return version
 
-    @staticmethod
-    def _in_background(target):
+    def _in_background(self, target, operation):
         # The outcome is recorded on the thread object itself: a
         # background failure must be observable to the caller, not
         # swallowed into threading.excepthook while the service keeps
@@ -285,7 +366,11 @@ class SimilarityService:
             except BaseException as error:
                 # Recorded, not re-raised: thread.error is the caller's
                 # signal; re-raising would only spam threading.excepthook.
+                # Also kept on the service itself (last_error), because
+                # fire-and-forget callers drop the thread object — the
+                # record is how /healthz surfaces the failure.
                 thread.error = error
+                self._record_error(operation, error)
 
         thread = threading.Thread(target=runner, daemon=True)
         thread.version = None

@@ -8,7 +8,10 @@ Subcommands mirror the research workflow::
     repro query db.json --algorithm rwr --node X         # any registered algo
     repro query db.json --pattern "r-a-.r-a" --node X --expand   # Algorithm 1
     repro explain db.json --pattern "r-a-.r-a" --expand  # compiled plan
+    repro serve db.json --pattern "r-a-.r-a" --expand    # HTTP server
+    repro serve --snapshot snap.npz                      # ... warm-started
     repro serve-bench db.json --pattern "r-a-.r-a" --expand      # serving
+    repro stats db.json --live                           # cache/delta counters
     repro transform db.json --mapping dblp2sigm --out t.json
     repro patterns db.json --pattern "r-a-.r-a"          # Algorithm 1
     repro robustness --dataset dblp --mapping dblp2sigm  # mini Table 1
@@ -20,6 +23,7 @@ Entry points: ``python -m repro.cli ...`` or :func:`main` for tests.
 """
 
 import argparse
+import os
 import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -44,6 +48,12 @@ from repro.graph.io import load_json, save_json
 from repro.graph.statistics import summarize
 from repro.lang import parse_pattern
 from repro.patterns import generate_patterns
+from repro.server import (
+    ReproServer,
+    load_service,
+    load_session,
+    save_snapshot,
+)
 from repro.transform import (
     EXPERIMENT_PATTERNS,
     biomedt,
@@ -89,7 +99,21 @@ def build_parser():
     generate.add_argument("--out", required=True, help="output JSON path")
 
     stats = sub.add_parser("stats", help="describe a database")
-    stats.add_argument("database", help="JSON database path")
+    stats.add_argument(
+        "database", nargs="?", default=None, help="JSON database path"
+    )
+    stats.add_argument(
+        "--snapshot",
+        default=None,
+        help="describe a serving snapshot file instead of a JSON database",
+    )
+    stats.add_argument(
+        "--live",
+        action="store_true",
+        help="build a serving service and report engine cache_info and "
+        "delta_stats counters",
+    )
+    _add_delta_flags(stats)
 
     query = sub.add_parser("query", help="similarity search")
     query.add_argument("database")
@@ -125,39 +149,61 @@ def build_parser():
     )
 
     serve = sub.add_parser(
+        "serve",
+        help="HTTP/JSON similarity server (coalescing, live updates, "
+        "snapshots)",
+    )
+    serve.add_argument(
+        "database",
+        nargs="?",
+        default=None,
+        help="JSON database path (optional when --snapshot names an "
+        "existing snapshot to warm-start from)",
+    )
+    _add_serving_flags(serve, threads=4)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help="warm-start from this snapshot file when it exists, and "
+        "checkpoint back to it after every successful /apply",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=2.0,
+        help="request-coalescing window in milliseconds",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="beyond this many in-flight requests the server answers 503",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="serve each /query as its own run() call (the serial "
+        "baseline)",
+    )
+
+    serve_bench = sub.add_parser(
         "serve-bench",
         help="prepared-query serving micro-benchmark (per-call vs "
         "prepared vs threaded)",
     )
-    serve.add_argument("database")
-    serve.add_argument(
-        "--pattern",
-        default=None,
-        help="RRE pattern (required for pattern-based algorithms)",
-    )
-    serve.add_argument(
-        "--algorithm",
-        choices=available_algorithms(),
-        default="relsim",
-    )
-    serve.add_argument("--queries", type=int, default=30)
-    serve.add_argument("--top", type=int, default=10)
-    serve.add_argument("--threads", type=int, default=8)
-    serve.add_argument(
-        "--expand",
-        action="store_true",
-        help="run Algorithm 1 on the simple pattern (RelSim)",
-    )
-    serve.add_argument("--max-expand", type=int, default=16)
-    serve.add_argument(
-        "--scoring", choices=("pathsim", "count", "cosine"), default="pathsim"
-    )
-    serve.add_argument(
+    serve_bench.add_argument("database")
+    serve_bench.add_argument("--queries", type=int, default=30)
+    _add_serving_flags(serve_bench, threads=8)
+    serve_bench.add_argument(
         "--node-type",
         default=None,
         help="query node type (default: the most common type)",
     )
-    _add_delta_flags(serve)
 
     explain = sub.add_parser(
         "explain", help="show the compiled evaluation plan for patterns"
@@ -208,6 +254,38 @@ def build_parser():
     robustness.add_argument("--queries", type=int, default=20)
     robustness.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_serving_flags(parser, threads):
+    """The flags every serving command shares.
+
+    ``serve`` and ``serve-bench`` answer the same prepared query —
+    algorithm, pattern, Algorithm-1 expansion, scoring, cutoff, worker
+    threads, and a pre-serve edge delta — so the flags live in one
+    place and the two commands cannot drift apart.
+    """
+    parser.add_argument(
+        "--pattern",
+        default=None,
+        help="RRE pattern (required for pattern-based algorithms)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=available_algorithms(),
+        default="relsim",
+    )
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--threads", type=int, default=threads)
+    parser.add_argument(
+        "--expand",
+        action="store_true",
+        help="run Algorithm 1 on the simple pattern (RelSim)",
+    )
+    parser.add_argument("--max-expand", type=int, default=16)
+    parser.add_argument(
+        "--scoring", choices=("pathsim", "count", "cosine"), default="pathsim"
+    )
+    _add_delta_flags(parser)
 
 
 def _add_delta_flags(parser):
@@ -286,9 +364,56 @@ def _cmd_generate(args, out):
 
 
 def _cmd_stats(args, out):
-    database = load_json(args.database)
-    print(summarize(database, name=args.database), file=out)
+    if args.database is None and args.snapshot is None:
+        raise EvaluationError("stats needs a database path or --snapshot")
+    added = [_parse_edge_flag(text) for text in args.add_edges]
+    removed = [_parse_edge_flag(text) for text in args.remove_edges]
+    if (added or removed) and not args.live:
+        raise EvaluationError("edge delta flags require stats --live")
+    if not args.live:
+        if args.snapshot is not None:
+            session, info = load_session(args.snapshot)
+            _print_snapshot_info(args.snapshot, info, out)
+            database, name = session.database, args.snapshot
+        else:
+            database, name = load_json(args.database), args.database
+        print(summarize(database, name=name), file=out)
+        return 0
+    if args.snapshot is not None:
+        service, info = load_service(args.snapshot)
+        _print_snapshot_info(args.snapshot, info, out)
+        name = args.snapshot
+    else:
+        service = SimilarityService(load_json(args.database), copy=False)
+        name = args.database
+    if added or removed:
+        service.apply(edges_added=added, edges_removed=removed)
+    print(summarize(service.database, name=name), file=out)
+    print("serving (version {}):".format(service.version), file=out)
+    print("  cache_info:", file=out)
+    for key, value in sorted(service.session.cache_info().items()):
+        print("    {:<14s} {}".format(key, value), file=out)
+    print("  delta_stats:", file=out)
+    for key, value in sorted(service.delta_stats.items()):
+        print("    {:<14s} {}".format(key, value), file=out)
+    last_error = service.last_error
+    if last_error is not None:
+        print("  last_error: {}".format(last_error["message"]), file=out)
     return 0
+
+
+def _print_snapshot_info(path, info, out):
+    print(
+        "serving snapshot {}: {} matrices, {} diagonals, {} column norms "
+        "preloaded ({} skipped)".format(
+            path,
+            info["matrices"],
+            info["diagonals"],
+            info["column_norms"],
+            info["skipped"],
+        ),
+        file=out,
+    )
 
 
 def _algorithm_options(algorithm, pattern, scoring=None, answer_type=None):
@@ -368,6 +493,86 @@ def _cmd_explain(args, out):
         )
         patterns = list(generated.patterns)
     print(session.explain(patterns), file=out)
+    return 0
+
+
+def _serving_service(args, out):
+    """The service ``repro serve`` will publish, warm when possible.
+
+    An existing ``--snapshot`` file wins (warm start: the engine cache
+    is preloaded from disk, preparation is pure hits); otherwise the
+    positional database is loaded cold.  Edge delta flags are applied
+    through the service's incremental path either way, so the first
+    served snapshot is exactly what a live ``/apply`` would have
+    produced.
+    """
+    if args.snapshot is not None and os.path.exists(args.snapshot):
+        start = time.perf_counter()
+        service, info = load_service(args.snapshot)
+        print(
+            "warm start from {} in {:.1f} ms ({} matrices, {} diagonals, "
+            "{} skipped)".format(
+                args.snapshot,
+                1000.0 * (time.perf_counter() - start),
+                info["matrices"],
+                info["diagonals"],
+                info["skipped"],
+            ),
+            file=out,
+        )
+    elif args.database is not None:
+        service = SimilarityService(load_json(args.database), copy=False)
+    else:
+        raise EvaluationError(
+            "serve needs a database path or an existing --snapshot file"
+        )
+    added = [_parse_edge_flag(text) for text in args.add_edges]
+    removed = [_parse_edge_flag(text) for text in args.remove_edges]
+    if added or removed:
+        version = service.apply(edges_added=added, edges_removed=removed)
+        print(
+            "applied delta (+{} / -{} edges) via {} path (snapshot "
+            "version {})".format(
+                len(added),
+                len(removed),
+                service.delta_stats["last_path"],
+                version,
+            ),
+            file=out,
+        )
+    return service
+
+
+def _cmd_serve(args, out):
+    service = _serving_service(args, out)
+    options = _algorithm_options(
+        args.algorithm, args.pattern, scoring=args.scoring
+    )
+    expand = {"max_patterns": args.max_expand} if args.expand else None
+    prepared = service.prepare(
+        algorithm=args.algorithm, top_k=args.top, expand=expand, **options
+    )
+    server = ReproServer(
+        service,
+        prepared,
+        host=args.host,
+        port=args.port,
+        coalesce=not args.no_coalesce,
+        coalesce_window=args.window / 1000.0,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        threads=args.threads,
+        snapshot_path=args.snapshot,
+    )
+    if args.snapshot is not None and not os.path.exists(args.snapshot):
+        stats = save_snapshot(args.snapshot, service)
+        print(
+            "wrote initial snapshot {} ({} matrices, {} bytes)".format(
+                args.snapshot, stats["matrices"], stats["bytes"]
+            ),
+            file=out,
+        )
+    server.serve_forever()
     return 0
 
 
@@ -568,6 +773,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "query": _cmd_query,
     "explain": _cmd_explain,
+    "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
     "transform": _cmd_transform,
     "patterns": _cmd_patterns,

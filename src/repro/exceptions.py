@@ -130,6 +130,15 @@ class EvaluationError(ReproError):
     """A similarity query could not be evaluated."""
 
 
+class SnapshotError(ReproError):
+    """A serving snapshot file could not be read, parsed, or verified.
+
+    Raised by :mod:`repro.server.snapshot` for missing files, foreign or
+    corrupt payloads, and unsupported format versions.  Warm starts fail
+    loudly rather than silently serving from a half-loaded cache.
+    """
+
+
 class RegistryError(ReproError):
     """The algorithm registry rejected a lookup or registration.
 

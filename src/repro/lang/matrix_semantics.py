@@ -39,7 +39,7 @@ from collections import Counter, OrderedDict
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import EvaluationError, StarDivergenceError
+from repro.exceptions import EvaluationError, ReproError, StarDivergenceError
 from repro.graph.matrices import (
     MatrixView,
     boolean,
@@ -1152,6 +1152,104 @@ class CommutingMatrixEngine:
             "invalidated": invalidated,
             "delta_applies": delta_applies,
         }
+
+    # ------------------------------------------------------------------
+    # Cache export / preload (snapshot persistence)
+    # ------------------------------------------------------------------
+    def export_cache(self):
+        """The cached state, keyed by canonical pattern text.
+
+        Returns ``{"matrices": [(text, csr)], "column_norms":
+        [(text, vector)], "diagonals": [(text, vector)]}`` in LRU order
+        (least recently used first), where ``text`` is the canonical
+        concrete syntax of each cache key's plan node.  Canonical text
+        re-parses and re-compiles to the same interned plan on any
+        compiler over the same pattern language, which is what lets a
+        snapshot written by one process warm the cache of another —
+        see :meth:`preload` and :mod:`repro.server.snapshot`.
+
+        The returned matrices and vectors are the cached objects
+        themselves (never mutated in place by the engine, only
+        replaced), so exporting is cheap and safe under concurrency.
+        """
+        with self._lock:
+            return {
+                "matrices": [
+                    (str(plan), matrix)
+                    for plan, matrix in self._cache.items()
+                ],
+                "column_norms": [
+                    (str(plan), vector)
+                    for plan, vector in self._column_norms.items()
+                ],
+                "diagonals": [
+                    (str(plan), vector)
+                    for plan, vector in self._diagonals.items()
+                ],
+            }
+
+    def preload(self, matrices, column_norms=(), diagonals=()):
+        """Install previously exported cache entries (the warm start).
+
+        ``matrices`` / ``column_norms`` / ``diagonals`` are
+        ``(canonical pattern text, value)`` pairs as produced by
+        :meth:`export_cache`.  Each text is parsed and compiled, so the
+        entry lands under exactly the plan node a live query for the
+        same pattern will look up.  Entries that no longer make sense —
+        unparseable text (e.g. a label the RRE tokenizer cannot spell)
+        or a matrix whose shape does not match this engine's node count
+        — are *skipped*, never installed: a warm start is an
+        optimization, and a skipped entry merely recomputes lazily.
+        Derived vectors are only installed alongside their cached
+        matrix (the same orphan rule the runtime caches follow).
+
+        Preloading counts toward neither hits nor misses.  Returns
+        ``{"matrices": n, "column_norms": n, "diagonals": n,
+        "skipped": n}``.
+        """
+        from repro.lang.parser import parse_pattern
+
+        n = self._view.num_nodes()
+        skipped = 0
+
+        def _compiled(pairs):
+            nonlocal skipped
+            compiled = []
+            for text, value in pairs:
+                try:
+                    plan = self.compile(parse_pattern(text))
+                except ReproError:
+                    skipped += 1
+                    continue
+                compiled.append((plan, value))
+            return compiled
+
+        plan_matrices = []
+        for plan, matrix in _compiled(matrices):
+            if matrix.shape != (n, n):
+                skipped += 1
+                continue
+            plan_matrices.append((plan, matrix))
+        plan_norms = _compiled(column_norms)
+        plan_diagonals = _compiled(diagonals)
+        loaded = {"matrices": 0, "column_norms": 0, "diagonals": 0}
+        with self._lock:
+            for plan, matrix in plan_matrices:
+                self._cache[plan] = matrix
+                loaded["matrices"] += 1
+            for store, pairs, key in (
+                (self._column_norms, plan_norms, "column_norms"),
+                (self._diagonals, plan_diagonals, "diagonals"),
+            ):
+                for plan, vector in pairs:
+                    if len(vector) != n or plan not in self._cache:
+                        skipped += 1
+                        continue
+                    store[plan] = vector
+                    loaded[key] += 1
+            self._evict()
+        loaded["skipped"] = skipped
+        return loaded
 
     # ------------------------------------------------------------------
     # Plan introspection

@@ -433,3 +433,75 @@ def test_queries_during_swap_never_see_torn_snapshot(fig1):
             thread.join(timeout=60)
     assert not anomalies, anomalies[:3]
     assert service.version == 11
+
+
+# ----------------------------------------------------------------------
+# Serving integration: session adoption, checkpoints, last_error
+# ----------------------------------------------------------------------
+def test_service_adopts_existing_session(fig1):
+    session = SimilaritySession(fig1)
+    warm = session.prepare(algorithm="relsim", pattern=PATTERN, top_k=10)
+    expected = {q: warm.run(q).items() for q in QUERIES}
+    service = SimilarityService(session=session)
+    assert service.version == 1
+    assert service.session is session  # adopted, not copied
+    prepared = service.prepare(algorithm="relsim", pattern=PATTERN, top_k=10)
+    assert {q: prepared.run(q).items() for q in QUERIES} == expected
+
+
+def test_service_constructor_validation(fig1):
+    with pytest.raises(EvaluationError, match="not both"):
+        SimilarityService(fig1, session=SimilaritySession(fig1))
+    with pytest.raises(EvaluationError, match="database= or session="):
+        SimilarityService()
+
+
+def test_checkpoint_fires_after_apply_and_swap(fig1):
+    calls = []
+    service = SimilarityService(
+        fig1,
+        checkpoint=lambda svc, version: calls.append(
+            (version, svc.version, svc.database.has_edge(*DELTA_EDGE))
+        ),
+    )
+    service.apply(edges_added=[DELTA_EDGE])
+    replacement = figure1_dblp()
+    service.swap(replacement)
+    # Each checkpoint saw the *published* post-mutation state.
+    assert calls == [(2, 2, True), (3, 3, False)]
+
+
+def test_checkpoint_failure_is_recorded_not_raised(fig1):
+    def explode(service_, version):
+        raise OSError("disk full")
+
+    service = SimilarityService(fig1, checkpoint=explode)
+    version = service.apply(edges_added=[DELTA_EDGE])  # must not raise
+    assert version == 2
+    assert service.version == 2
+    assert service.database.has_edge(*DELTA_EDGE)
+    record = service.last_error
+    assert record["operation"] == "checkpoint"
+    assert "disk full" in record["message"]
+    assert isinstance(record["error"], OSError)
+    assert record["version"] == 2
+    service.clear_last_error()
+    assert service.last_error is None
+
+
+def test_background_failure_sets_sticky_last_error(fig1):
+    service = SimilarityService(fig1)
+    assert service.last_error is None
+    thread = service.apply(
+        edges_removed=[("ghost", "r-a", "nowhere")], wait=False
+    )
+    thread.join(timeout=30)
+    record = service.last_error
+    assert record["operation"] == "apply"
+    assert "ghost" in record["message"]
+    assert isinstance(record["error"], UnknownEdgeError)
+    # Sticky: a later success does not silently erase the evidence.
+    service.apply(edges_added=[DELTA_EDGE])
+    assert service.last_error["operation"] == "apply"
+    service.clear_last_error()
+    assert service.last_error is None

@@ -439,3 +439,83 @@ def test_unknown_dataset_rejected(tmp_path):
         build_parser().parse_args(
             ["generate", "--dataset", "nope", "--out", "x.json"]
         )
+
+
+def test_stats_live_reports_cache_and_delta_counters(dblp_json):
+    code, output = run_cli(["stats", dblp_json, "--live"])
+    assert code == 0
+    assert "serving (version 1):" in output
+    assert "cache_info:" in output
+    assert "matrices" in output
+    assert "delta_stats:" in output
+    assert "last_path" in output
+    assert "last_error" not in output  # healthy service: nothing to report
+
+
+def test_stats_live_applies_delta_flags(dblp_json):
+    from repro.graph.io import load_json
+
+    database = load_json(dblp_json)
+    paper = sorted(database.nodes_of_type("paper"))[0]
+    proc = sorted(database.nodes_of_type("proc"))[-1]
+    flag = "{},p-in,{}".format(paper, proc)
+    code, output = run_cli(["stats", dblp_json, "--live", "--add-edge", flag])
+    assert code == 0
+    assert "serving (version 2):" in output
+    assert "incremental" in output
+
+
+def test_stats_delta_flags_require_live(dblp_json, capsys):
+    code, _ = run_cli(["stats", dblp_json, "--add-edge", "a,p-in,b"])
+    assert code == 2
+    assert "require stats --live" in capsys.readouterr().err
+
+
+def test_stats_needs_database_or_snapshot(capsys):
+    code, _ = run_cli(["stats"])
+    assert code == 2
+    assert "database path or --snapshot" in capsys.readouterr().err
+
+
+def test_stats_reads_snapshot_files(dblp_json, tmp_path):
+    from repro.api import SimilaritySession
+    from repro.graph.io import load_json
+    from repro.server import save_snapshot
+
+    path = os.path.join(tmp_path, "stats.npz")
+    session = SimilaritySession(load_json(dblp_json))
+    session.prepare(algorithm="pathsim", pattern="p-in.p-in-", top_k=5)
+    save_snapshot(path, session)
+
+    code, output = run_cli(["stats", "--snapshot", path])
+    assert code == 0
+    assert "serving snapshot {}".format(path) in output
+    assert "0 skipped" in output
+
+    code, output = run_cli(["stats", "--snapshot", path, "--live"])
+    assert code == 0
+    assert "serving (version 1):" in output
+    # Warm start: the preloaded cache starts with zero misses.
+    misses_line = next(
+        line for line in output.splitlines() if "misses" in line
+    )
+    assert misses_line.split()[-1] == "0"
+
+
+def test_serve_needs_database_or_snapshot(capsys):
+    code, _ = run_cli(["serve"])
+    assert code == 2
+    assert "database path or an existing --snapshot" in capsys.readouterr().err
+
+
+def test_serve_validates_algorithm_flags(dblp_json, capsys):
+    # Pattern algorithms demand --pattern; the check fires before any
+    # socket is bound, so this exercises serve without serving.
+    code, _ = run_cli(["serve", dblp_json, "--algorithm", "relsim"])
+    assert code == 2
+    assert "needs --pattern" in capsys.readouterr().err
+    code, _ = run_cli(
+        ["serve", dblp_json, "--algorithm", "rwr", "--pattern", "p-in"]
+    )
+    assert code == 2
+    assert "does not take --pattern" in capsys.readouterr().err

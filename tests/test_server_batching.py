@@ -1,0 +1,207 @@
+"""Tests for the request-coalescing micro-batcher.
+
+Driven through plain ``asyncio.run`` coroutines (no asyncio test
+plugin): each test builds a batcher on a fresh loop, fans out
+``submit`` coroutines with ``asyncio.gather``, and asserts on the
+recorded ``run_many`` calls and the resolved results.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import SimilaritySession
+from repro.exceptions import UnknownNodeError
+from repro.server import CoalescingBatcher
+from repro.server.batching import PREPARED_DEFAULT
+
+
+class FakePrepared:
+    """Records every run/run_many call; poisoned nodes raise."""
+
+    def __init__(self, poisoned=()):
+        self.poisoned = set(poisoned)
+        self.batch_calls = []  # (nodes, kwargs)
+        self.single_calls = []
+
+    def run_many(self, nodes, **kwargs):
+        self.batch_calls.append((list(nodes), dict(kwargs)))
+        bad = [node for node in nodes if node in self.poisoned]
+        if bad:
+            raise UnknownNodeError("poisoned: {}".format(bad[0]))
+        return {node: self._ranking(node, kwargs) for node in nodes}
+
+    def run(self, node, **kwargs):
+        self.single_calls.append((node, dict(kwargs)))
+        if node in self.poisoned:
+            raise UnknownNodeError("poisoned: {}".format(node))
+        return self._ranking(node, kwargs)
+
+    @staticmethod
+    def _ranking(node, kwargs):
+        return {"echo": node, "kwargs": dict(kwargs)}
+
+
+def test_concurrent_submits_fold_into_one_run_many():
+    fake = FakePrepared()
+    batcher = CoalescingBatcher(fake, window=0.005)
+
+    async def scenario():
+        return await asyncio.gather(
+            *(batcher.submit("node{}".format(i)) for i in range(8))
+        )
+
+    results = asyncio.run(scenario())
+    assert [r["echo"] for r in results] == [
+        "node{}".format(i) for i in range(8)
+    ]
+    assert len(fake.batch_calls) == 1
+    nodes, kwargs = fake.batch_calls[0]
+    assert nodes == ["node{}".format(i) for i in range(8)]
+    assert kwargs == {}  # PREPARED_DEFAULT: no top_k override at all
+    stats = batcher.stats()
+    assert stats == {
+        "requests": 8,
+        "batches": 1,
+        "largest_batch": 8,
+        "isolated_errors": 0,
+    }
+
+
+def test_max_batch_flushes_without_waiting_for_window():
+    fake = FakePrepared()
+    # A window long enough that only the max_batch trigger can explain
+    # a prompt flush.
+    batcher = CoalescingBatcher(fake, window=60.0, max_batch=4)
+
+    async def scenario():
+        return await asyncio.wait_for(
+            asyncio.gather(
+                *(batcher.submit("n{}".format(i)) for i in range(4))
+            ),
+            timeout=10,
+        )
+
+    results = asyncio.run(scenario())
+    assert len(results) == 4
+    assert [len(nodes) for nodes, _ in fake.batch_calls] == [4]
+
+
+def test_distinct_top_k_values_batch_separately():
+    fake = FakePrepared()
+    batcher = CoalescingBatcher(fake, window=0.005)
+
+    async def scenario():
+        return await asyncio.gather(
+            batcher.submit("a"),
+            batcher.submit("b", top_k=3),
+            batcher.submit("c", top_k=3),
+            batcher.submit("d", top_k=None),
+        )
+
+    default, b, c, full = asyncio.run(scenario())
+    calls = {tuple(nodes): kwargs for nodes, kwargs in fake.batch_calls}
+    assert calls == {
+        ("a",): {},
+        ("b", "c"): {"top_k": 3},
+        ("d",): {"top_k": None},
+    }
+    assert default["kwargs"] == {}
+    assert b["kwargs"] == c["kwargs"] == {"top_k": 3}
+    assert full["kwargs"] == {"top_k": None}
+    # One coalesced batch, three run_many groups inside it.
+    assert batcher.stats()["batches"] == 1
+
+
+def test_poisoned_request_fails_alone():
+    fake = FakePrepared(poisoned={"bad"})
+    batcher = CoalescingBatcher(fake, window=0.005)
+
+    async def scenario():
+        return await asyncio.gather(
+            batcher.submit("good1"),
+            batcher.submit("bad"),
+            batcher.submit("good2"),
+            return_exceptions=True,
+        )
+
+    good1, bad, good2 = asyncio.run(scenario())
+    assert good1["echo"] == "good1"
+    assert good2["echo"] == "good2"
+    assert isinstance(bad, UnknownNodeError)
+    # The batch ran once, failed, and was retried per node.
+    assert len(fake.batch_calls) == 1
+    assert [node for node, _ in fake.single_calls] == [
+        "good1", "bad", "good2",
+    ]
+    assert batcher.stats()["isolated_errors"] == 1
+
+
+def test_zero_window_still_coalesces_same_pass_arrivals():
+    fake = FakePrepared()
+    batcher = CoalescingBatcher(fake, window=0.0)
+
+    async def scenario():
+        return await asyncio.gather(
+            *(batcher.submit("n{}".format(i)) for i in range(6))
+        )
+
+    results = asyncio.run(scenario())
+    assert len(results) == 6
+    stats = batcher.stats()
+    assert stats["batches"] < stats["requests"], (
+        "window=0 should still fold same-pass arrivals"
+    )
+
+
+def test_sequential_submits_each_get_fresh_windows():
+    fake = FakePrepared()
+    batcher = CoalescingBatcher(fake, window=0.0)
+
+    async def scenario():
+        first = await batcher.submit("one")
+        second = await batcher.submit("two")
+        return first, second
+
+    first, second = asyncio.run(scenario())
+    assert (first["echo"], second["echo"]) == ("one", "two")
+    assert batcher.stats()["batches"] == 2
+    assert batcher.queued == 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="window"):
+        CoalescingBatcher(FakePrepared(), window=-0.001)
+    with pytest.raises(ValueError, match="max_batch"):
+        CoalescingBatcher(FakePrepared(), max_batch=0)
+
+
+def test_batched_results_match_direct_runs_on_real_prepared(fig1):
+    """Identity guarantee: coalescing never changes a response."""
+    session = SimilaritySession(fig1)
+    prepared = session.prepare(
+        algorithm="relsim", pattern="r-a-.p-in.p-in-.r-a", top_k=1
+    )
+    queries = ["DataMining", "Databases", "SoftwareEngineering"]
+    batcher = CoalescingBatcher(prepared, window=0.005)
+
+    async def scenario():
+        defaults = asyncio.gather(*(batcher.submit(q) for q in queries))
+        fulls = asyncio.gather(
+            *(batcher.submit(q, top_k=None) for q in queries)
+        )
+        return await defaults, await fulls
+
+    defaults, fulls = asyncio.run(scenario())
+    for query, ranking in zip(queries, defaults):
+        assert ranking.items() == prepared.run(query).items()
+        assert len(ranking.items()) == 1
+    for query, ranking in zip(queries, fulls):
+        assert ranking.items() == prepared.run(query, top_k=None).items()
+    # top_k=None really means "full": at least one query has more
+    # neighbors than the prepared default of 1.
+    assert any(len(ranking.items()) > 1 for ranking in fulls)
+
+
+def test_prepared_default_sentinel_is_not_none():
+    assert PREPARED_DEFAULT is not None

@@ -1,0 +1,211 @@
+"""End-to-end smoke: ``repro serve`` as a real subprocess.
+
+Boots the CLI entry point exactly the way an operator does (``python
+-m repro.cli serve``), parses the announced port from stdout, drives
+the HTTP surface with concurrent clients, applies a live delta, and
+asserts a clean SIGTERM shutdown (exit code 0) plus a warm restart
+from the checkpointed snapshot.  This is the test the CI
+``server-smoke`` job runs.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import http.client
+
+import pytest
+
+from repro.api import SimilaritySession
+from repro.cli import main as cli_main
+from repro.graph.io import load_json
+
+PATTERN = "r-a-.p-in.p-in-.r-a"
+ANNOUNCE = re.compile(r"serving repro on http://([\d.]+):(\d+)")
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+@pytest.fixture(scope="module")
+def dblp_json(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serve") / "dblp.json")
+    import io
+
+    assert (
+        cli_main(
+            [
+                "generate", "--dataset", "dblp-small",
+                "--seed", "3", "--out", path,
+            ],
+            out=io.StringIO(),
+        )
+        == 0
+    )
+    return path
+
+
+def _spawn(arguments):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (os.path.abspath(SRC), env.get("PYTHONPATH"))
+        if part
+    )
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli"] + arguments,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _await_announce(process):
+    """Lines up to and including the serving announcement, plus address."""
+    lines = []
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            process.kill()
+            raise AssertionError(
+                "server exited before announcing: " + "".join(lines)
+            )
+        lines.append(line)
+        match = ANNOUNCE.search(line)
+        if match:
+            return (match.group(1), int(match.group(2))), lines
+
+
+def _call(address, method, path, payload=None, timeout=30):
+    connection = http.client.HTTPConnection(*address, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _terminate(process):
+    process.send_signal(signal.SIGTERM)
+    try:
+        output, _ = process.communicate(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise
+    return process.returncode, output
+
+
+def test_serve_subprocess_lifecycle(dblp_json, tmp_path):
+    snapshot = str(tmp_path / "serve.npz")
+    process = _spawn(
+        [
+            "serve", dblp_json,
+            "--algorithm", "relsim", "--pattern", PATTERN,
+            "--top", "5", "--port", "0", "--snapshot", snapshot,
+        ]
+    )
+    try:
+        address, lines = _await_announce(process)
+        assert any("wrote initial snapshot" in line for line in lines)
+        assert os.path.exists(snapshot)
+
+        database = load_json(dblp_json)
+        session = SimilaritySession(database)
+        prepared = session.prepare(
+            algorithm="relsim", pattern=PATTERN, top_k=5
+        )
+        areas = sorted(database.nodes_of_type("area"))[:4]
+        expected = {
+            area: [[n, s] for n, s in prepared.run(area).items()]
+            for area in areas
+        }
+
+        status, health = _call(address, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["version"] == 1
+
+        # Concurrent clients: every response matches the direct run.
+        failures = []
+
+        def client(area):
+            try:
+                status, payload = _call(
+                    address, "POST", "/query", {"node": area}
+                )
+                assert status == 200, payload
+                assert payload["ranking"] == expected[area], area
+            except Exception as error:  # surfaced below
+                failures.append((area, error))
+
+        threads = [
+            threading.Thread(target=client, args=(area,))
+            for area in areas * 3
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures[:3]
+
+        # A live delta lands, bumps the version, and checkpoints.
+        papers = sorted(database.nodes_of_type("paper"))
+        procs = sorted(database.nodes_of_type("proc"))
+        checkpoint_before = os.path.getmtime(snapshot)
+        status, applied = _call(
+            address,
+            "POST",
+            "/apply",
+            {"edges_added": [[papers[0], "p-in", procs[-1]]]},
+        )
+        assert status == 200 and applied["version"] == 2
+        deadline = time.monotonic() + 30
+        while os.path.getmtime(snapshot) == checkpoint_before:
+            assert time.monotonic() < deadline, "checkpoint never landed"
+            time.sleep(0.05)
+
+        status, stats = _call(address, "GET", "/statz")
+        assert status == 200
+        assert stats["version"] == 2
+        assert stats["requests"] >= len(threads)
+    except BaseException:
+        process.kill()
+        process.communicate()
+        raise
+
+    code, tail = _terminate(process)
+    assert code == 0, "serve exited {} with output:\n{}".format(code, tail)
+
+    # Warm restart: the checkpointed snapshot alone (no database
+    # argument) serves the post-delta state.
+    process = _spawn(["serve", "--snapshot", snapshot, "--port", "0",
+                      "--algorithm", "relsim", "--pattern", PATTERN,
+                      "--top", "5"])
+    try:
+        address, lines = _await_announce(process)
+        assert any("warm start from" in line for line in lines)
+        status, health = _call(address, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, payload = _call(
+            address, "POST", "/query", {"node": sorted(
+                load_json(dblp_json).nodes_of_type("area")
+            )[0]},
+        )
+        assert status == 200 and payload["version"] == 1
+    except BaseException:
+        process.kill()
+        process.communicate()
+        raise
+    code, tail = _terminate(process)
+    assert code == 0, tail
+
+
+def test_serve_rejects_missing_inputs(dblp_json):
+    process = _spawn(["serve"])
+    output, _ = process.communicate(timeout=60)
+    assert process.returncode == 2
+    assert "database path or an existing --snapshot" in output

@@ -1,0 +1,241 @@
+"""Snapshot round trips: save -> load -> bitwise-identical serving.
+
+The serving snapshot (:mod:`repro.server.snapshot`) persists a
+session's database plus its materialized engine cache so a warm start
+replaces computation with disk reads.  The contract tested here is the
+same one the warm-start benchmark gates: a loaded session must serve
+**bitwise-identical** rankings for every registered algorithm with
+**zero** engine cache misses, including when the saved database was
+mutated through the live-update delta path first.
+"""
+
+import json
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.api import SimilarityService, SimilaritySession, available_algorithms
+from repro.datasets import generate_dblp
+from repro.exceptions import SnapshotError
+from repro.server import (
+    SNAPSHOT_FORMAT,
+    load_service,
+    load_session,
+    save_snapshot,
+)
+
+TOP_K = 10
+
+#: One prepared-query spec per registered algorithm (the delta-parity
+#: suite's coverage idiom): snapshots must round-trip the cache entries
+#: of every scoring family, not just the commuting-matrix ones.
+SPECS = [
+    ("relsim", {"pattern": "r-a-.p-in.p-in-.r-a"}),
+    (
+        "relsim",
+        {
+            "pattern": "r-a-.p-in.p-in-.r-a",
+            "expand": {"max_patterns": 8},
+        },
+    ),
+    ("pathsim", {"pattern": "p-in.p-in-"}),
+    ("hetesim", {"pattern": "p-in-.p-in", "answer_type": "proc"}),
+    ("rwr", {}),
+    ("simrank", {}),
+    ("pattern-rwr", {"pattern": "p-in.p-in-"}),
+    ("pattern-simrank", {"pattern": "p-in.p-in-"}),
+    ("common-neighbors", {}),
+    ("katz", {}),
+]
+
+
+@pytest.fixture
+def tiny_dblp():
+    return generate_dblp(
+        num_areas=3, num_procs=6, num_papers=36, num_authors=20, seed=11
+    ).database
+
+
+def _prepare_all(target):
+    return [
+        target.prepare(algorithm=name, top_k=TOP_K, **options)
+        for name, options in SPECS
+    ]
+
+
+def _queries(database, options):
+    procs = sorted(database.nodes_of_type("proc"))[:3]
+    if options.get("answer_type") == "proc":
+        return procs
+    return sorted(database.nodes_of_type("area"))[:2] + procs
+
+
+def _rankings(database, prepared):
+    return [
+        [
+            (query, list(handle.run(query).items()))
+            for query in _queries(database, options)
+        ]
+        for (name, options), handle in zip(SPECS, prepared)
+    ]
+
+
+def test_specs_cover_every_registered_algorithm():
+    assert {name for name, _ in SPECS} == set(available_algorithms())
+
+
+def test_round_trip_all_algorithms_bitwise_identical(tiny_dblp, tmp_path):
+    path = str(tmp_path / "serving.npz")
+    session = SimilaritySession(tiny_dblp)
+    reference = _rankings(tiny_dblp, _prepare_all(session))
+
+    stats = save_snapshot(path, session)
+    assert stats["matrices"] > 0
+    assert stats["bytes"] == os.path.getsize(path)
+
+    warm, info = load_session(path)
+    assert info["matrices"] == stats["matrices"]
+    assert info["column_norms"] == stats["column_norms"]
+    assert info["diagonals"] == stats["diagonals"]
+    assert info["skipped"] == 0
+    assert info["service_version"] is None  # saved from a bare session
+    assert info["num_nodes"] == tiny_dblp.num_nodes()
+
+    assert _rankings(tiny_dblp, _prepare_all(warm)) == reference
+    assert warm.cache_info()["misses"] == 0, (
+        "warm session recomputed matrices the snapshot should have carried"
+    )
+
+
+def test_round_trip_after_live_delta(tiny_dblp, tmp_path):
+    """A database mutated through apply() snapshots and restores exactly."""
+    path = str(tmp_path / "mutated.npz")
+    service = SimilarityService(tiny_dblp)
+    prepared = _prepare_all(service)
+    papers = sorted(tiny_dblp.nodes_of_type("paper"))
+    procs = sorted(tiny_dblp.nodes_of_type("proc"))
+    version = service.apply(
+        edges_added=[
+            (papers[0], "p-in", procs[-1]),
+            (papers[1], "p-in", procs[-2]),
+        ],
+        edges_removed=[sorted(tiny_dblp.edges("p-in"))[0]],
+        incremental=True,
+    )
+    assert version == 2
+    assert service.delta_stats["last_path"] == "incremental"
+    reference = _rankings(service.database, prepared)
+
+    save_snapshot(path, service)
+    warm_service, info = load_service(path)
+    assert info["service_version"] == 2
+    assert warm_service.version == 1  # a fresh service restarts at 1
+    assert warm_service.database.same_content(service.database)
+
+    warm_rankings = _rankings(
+        warm_service.database, _prepare_all(warm_service)
+    )
+    assert warm_rankings == reference
+    assert warm_service.session.cache_info()["misses"] == 0
+
+
+def test_round_trip_through_incrementally_patched_cache(tiny_dblp, tmp_path):
+    """Snapshotting *incrementally patched* matrices equals a fresh build."""
+    path = str(tmp_path / "patched.npz")
+    service = SimilarityService(tiny_dblp)
+    prepared = _prepare_all(service)
+    papers = sorted(tiny_dblp.nodes_of_type("paper"))
+    areas = sorted(tiny_dblp.nodes_of_type("area"))
+    service.apply(
+        edges_added=[(papers[2], "r-a", areas[0])], incremental=True
+    )
+    save_snapshot(path, service)
+
+    warm, _ = load_session(path)
+    fresh = SimilaritySession(service.database)
+    assert _rankings(warm.database, _prepare_all(warm)) == _rankings(
+        fresh.database, _prepare_all(fresh)
+    )
+    assert warm.cache_info()["misses"] == 0
+
+
+def test_save_is_atomic_overwrite(tiny_dblp, tmp_path):
+    path = str(tmp_path / "over.npz")
+    session = SimilaritySession(tiny_dblp)
+    session.prepare(algorithm="pathsim", pattern="p-in.p-in-", top_k=5)
+    save_snapshot(path, session)
+    first = open(path, "rb").read()
+    save_snapshot(path, session)  # overwrite in place via temp + replace
+    assert os.path.exists(path)
+    load_session(path)  # still a valid archive
+    assert not [
+        name for name in os.listdir(str(tmp_path)) if name.endswith(".tmp")
+    ], "temporary snapshot files were left behind"
+    assert len(open(path, "rb").read()) >= len(first) - 64
+
+
+def test_save_rejects_other_sources(tiny_dblp, tmp_path):
+    with pytest.raises(TypeError):
+        save_snapshot(str(tmp_path / "x.npz"), tiny_dblp)
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(SnapshotError, match="no such snapshot"):
+        load_session(str(tmp_path / "absent.npz"))
+
+
+def test_load_rejects_non_archive(tmp_path):
+    path = str(tmp_path / "not-a-zip.npz")
+    with open(path, "w") as handle:
+        handle.write("just text\n")
+    with pytest.raises(SnapshotError, match="unreadable snapshot"):
+        load_session(path)
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    path = str(tmp_path / "foreign.npz")
+    np.savez(open(path, "wb"), payload=np.arange(4))
+    with pytest.raises(SnapshotError, match="not a repro serving snapshot"):
+        load_session(path)
+
+
+def test_load_rejects_unknown_format(tiny_dblp, tmp_path):
+    path = str(tmp_path / "future.npz")
+    session = SimilaritySession(tiny_dblp)
+    save_snapshot(path, session)
+    _rewrite_manifest(path, lambda manifest: dict(manifest, format=99))
+    with pytest.raises(SnapshotError, match="format 99 is not supported"):
+        load_session(path)
+    assert SNAPSHOT_FORMAT == 1  # bump this test alongside the format
+
+
+def test_load_rejects_corrupt_payload(tiny_dblp, tmp_path):
+    # Claim more nonzeros than the pooled buffers actually hold: the
+    # loader must fail loudly, not serve silently truncated matrices.
+    path = str(tmp_path / "corrupt.npz")
+    session = SimilaritySession(tiny_dblp)
+    session.prepare(algorithm="pathsim", pattern="p-in.p-in-", top_k=5)
+    save_snapshot(path, session)
+
+    def inflate(manifest):
+        matrices = [dict(entry) for entry in manifest["matrices"]]
+        matrices[-1]["nnz"] = matrices[-1]["nnz"] + 1_000_000
+        return dict(manifest, matrices=matrices)
+
+    _rewrite_manifest(path, inflate)
+    with pytest.raises(SnapshotError, match="corrupt snapshot payload"):
+        load_session(path)
+
+
+def _rewrite_manifest(path, transform):
+    archive = np.load(path, allow_pickle=False)
+    with archive:
+        arrays = {name: archive[name] for name in archive.files}
+    manifest = transform(json.loads(str(arrays["manifest"])))
+    arrays["manifest"] = np.array(json.dumps(manifest))
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    with zipfile.ZipFile(path) as check:  # still a well-formed archive
+        assert "manifest.npy" in check.namelist()
