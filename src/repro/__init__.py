@@ -83,16 +83,19 @@ from repro.api import (
     register_algorithm,
 )
 
+from repro.analysis import Diagnostic, PatternTypeChecker
 from repro.constraints import Atom, Egd, Tgd, parse_tgd, satisfies
 from repro.core import RelSim
 from repro.exceptions import (
     AsymmetricPatternError,
+    ConfigurationError,
     ConstraintError,
     CyclicPremiseError,
     EvaluationError,
     NodeTypeConflictError,
     NotInvertibleError,
     PatternSyntaxError,
+    PatternTypeError,
     RegistryError,
     ReproError,
     SchemaError,
@@ -126,8 +129,10 @@ __all__ = [
     "Atom",
     "AsymmetricPatternError",
     "CommutingMatrixEngine",
+    "ConfigurationError",
     "ConstraintError",
     "CyclicPremiseError",
+    "Diagnostic",
     "Egd",
     "EvaluationError",
     "GraphDatabase",
@@ -140,6 +145,8 @@ __all__ = [
     "PatternRWR",
     "PatternSimRank",
     "PatternSyntaxError",
+    "PatternTypeChecker",
+    "PatternTypeError",
     "PreparedQuery",
     "QueryBuilder",
     "RWR",

@@ -1,0 +1,43 @@
+"""Static analysis for similarity patterns.
+
+Two consumers:
+
+* the plan compiler and serving stack, which call
+  :meth:`PatternTypeChecker.assert_well_typed` to reject ill-typed
+  patterns *before* any matrix work (surfaced as
+  :class:`repro.exceptions.PatternTypeError` carrying the diagnostic
+  list — the CLI ``repro check`` verb and the HTTP 400 body both render
+  it);
+* humans running ``repro check``, who also get the warning tier
+  (density estimates, redundant spellings).
+
+The repo-invariant linter (dense-materialization, lock discipline,
+index width, exception taxonomy) is a separate stdlib-``ast`` tool at
+``tools/lint_repro.py`` — it checks this codebase, not patterns.
+"""
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.analysis.typecheck import (
+    ANY,
+    Endpoints,
+    PatternTypeChecker,
+    render_with_spans,
+)
+
+__all__ = [
+    "ANY",
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "Endpoints",
+    "PatternTypeChecker",
+    "has_errors",
+    "render_with_spans",
+    "sort_diagnostics",
+]

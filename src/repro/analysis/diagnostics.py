@@ -1,0 +1,121 @@
+"""Severity-ranked, span-carrying diagnostics for pattern analysis.
+
+The type checker (:mod:`repro.analysis.typecheck`) reports everything it
+finds as a list of :class:`Diagnostic` objects rather than raising on
+the first problem — a pattern author fixing a query wants the whole
+story at once, and the serving layer wants a structured payload it can
+put in an HTTP 400 body.  A diagnostic carries:
+
+* ``severity`` — :data:`ERROR` (the pattern cannot mean what it says
+  against this schema) or :data:`WARNING` (it means something, but a
+  cheaper or saner spelling exists, or evaluation will be expensive);
+* ``code`` — a stable machine-readable rule name (``unknown-label``,
+  ``endpoint-mismatch``, ...) clients can filter on;
+* ``span`` — a ``(start, end)`` character range into ``pattern_text``
+  (the pattern's canonical rendering) locating the offending subterm;
+* ``message`` — the human explanation, endpoint types spelled out.
+
+Severity ordering is total (errors sort before warnings) so a
+diagnostic list is presentable as-is after :func:`sort_diagnostics`.
+"""
+
+#: Severity levels, most severe first.  Values sort by rank.
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1}
+
+
+class Diagnostic:
+    """One finding of the pattern type checker.
+
+    Immutable value object; compares structurally so tests can assert
+    on exact diagnostic sets.
+    """
+
+    __slots__ = ("severity", "code", "message", "span", "pattern_text")
+
+    def __init__(self, severity, code, message, span=None, pattern_text=None):
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(
+                "severity must be one of {}, got {!r}".format(
+                    sorted(_SEVERITY_RANK), severity
+                )
+            )
+        self.severity = severity
+        self.code = code
+        self.message = message
+        self.span = tuple(span) if span is not None else None
+        self.pattern_text = pattern_text
+
+    @property
+    def is_error(self):
+        return self.severity == ERROR
+
+    def to_dict(self):
+        """A JSON-able dict (the HTTP 400 body / ``--json`` shape)."""
+        payload = {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["span"] = list(self.span)
+        if self.pattern_text is not None:
+            payload["pattern"] = self.pattern_text
+        return payload
+
+    def format(self, caret=False):
+        """``severity[code] at start..end: message`` (+ caret line).
+
+        With ``caret`` and a span, adds the pattern text and a
+        ``^^^^`` underline locating the subterm — the ``repro check``
+        terminal rendering.
+        """
+        where = (
+            " at {}..{}".format(self.span[0], self.span[1])
+            if self.span is not None
+            else ""
+        )
+        line = "{}[{}]{}: {}".format(
+            self.severity, self.code, where, self.message
+        )
+        if caret and self.span is not None and self.pattern_text:
+            start, end = self.span
+            underline = " " * start + "^" * max(end - start, 1)
+            line += "\n    {}\n    {}".format(self.pattern_text, underline)
+        return line
+
+    def __eq__(self, other):
+        if not isinstance(other, Diagnostic):
+            return NotImplemented
+        return (
+            self.severity == other.severity
+            and self.code == other.code
+            and self.message == other.message
+            and self.span == other.span
+            and self.pattern_text == other.pattern_text
+        )
+
+    def __hash__(self):
+        return hash((self.severity, self.code, self.message, self.span))
+
+    def __repr__(self):
+        return "Diagnostic({})".format(self.format())
+
+
+def sort_diagnostics(diagnostics):
+    """Diagnostics ranked most severe first, then by span position."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            _SEVERITY_RANK[d.severity],
+            d.span if d.span is not None else (1 << 30, 1 << 30),
+            d.code,
+        ),
+    )
+
+
+def has_errors(diagnostics):
+    """True when any diagnostic is error-severity."""
+    return any(d.is_error for d in diagnostics)

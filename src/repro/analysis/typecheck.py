@@ -1,0 +1,680 @@
+"""Schema-aware static type checking for similarity patterns.
+
+The paper's thesis is that similarity semantics should be derived from
+the *schema*; this module applies the same standard to the queries.  A
+pattern like ``p-in-.r-a`` is only meaningful when the target type of
+``p-in-`` matches the source type of ``r-a`` — today a mistyped
+composition sails through parse/expand/compile and surfaces as an empty
+or nonsensical ranking.  :class:`PatternTypeChecker` infers a
+``(source_type, target_type)`` endpoint set for every subterm of a
+pattern AST and reports problems as spanned
+:class:`~repro.analysis.diagnostics.Diagnostic` objects:
+
+**Errors** (the pattern cannot mean what it says against this schema):
+
+* ``unknown-label`` — an edge label the schema does not define;
+* ``endpoint-mismatch`` — a concatenation whose left target types share
+  nothing with the right source types;
+* ``union-mismatch`` — union branches that share types on one endpoint
+  but diverge on the other, so one candidate population would mix
+  incomparable nodes (fully type-disjoint branches are *fine* — they
+  build a block matrix, an idiom Algorithm-1 expansions rely on);
+* ``statically-empty`` — a subterm whose endpoint set is provably empty
+  (e.g. a conjunction of type-disjoint relationships).
+
+**Warnings** (well-typed but expensive or redundantly spelled):
+
+* ``star-blowup`` — a Kleene star whose operand's nnz estimate predicts
+  a near-dense closure;
+* ``density-budget`` — the whole pattern's estimated result density
+  exceeds a configurable budget;
+* ``redundant-reverse`` — a double reverse the canonicalizer collapses;
+* ``redundant-union`` — duplicate union branches the canonicalizer
+  deduplicates.
+
+The endpoint algebra treats untyped labels (schemas without
+``node_types`` — the common case in tests and ad-hoc graphs) as the
+wildcard :data:`ANY`, which absorbs every operation, so an untyped
+schema only ever produces ``unknown-label`` errors and density
+warnings: the checker never invents a type constraint the schema did
+not state.
+
+Spans index into the pattern's canonical rendering (``str(pattern)``),
+computed by a renderer that mirrors the AST pretty-printer exactly.
+
+This module imports only the AST, the diagnostics value objects, and
+the exception hierarchy — never the plan compiler or the engine — so
+both of those can depend on it without cycles.  Density estimates are
+therefore computed over the AST with the same uniform-sparsity
+surrogate the chain planner uses (``nnz_A * nnz_B / n`` per product).
+"""
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.exceptions import PatternTypeError
+from repro.lang.ast import (
+    Concat,
+    Conj,
+    Epsilon,
+    Label,
+    Nested,
+    Pattern,
+    Reverse,
+    Skip,
+    Star,
+    Union,
+)
+
+
+class _Any:
+    """The wildcard endpoint set: no static constraint known."""
+
+    def __repr__(self):
+        return "ANY"
+
+
+#: Endpoint set of an untyped label (and of anything composed with one).
+ANY = _Any()
+
+
+class Endpoints:
+    """The inferred endpoint-type set of one subterm.
+
+    ``pairs`` is either :data:`ANY` or a frozenset of
+    ``(source_type, target_type)`` pairs; ``diag`` additionally admits
+    ``(T, T)`` for *every* node type ``T`` — the identity component
+    contributed by ``eps`` and by Kleene stars, which relate any node
+    to itself regardless of type.
+    """
+
+    __slots__ = ("pairs", "diag")
+
+    def __init__(self, pairs, diag=False):
+        self.pairs = pairs if pairs is ANY else frozenset(pairs)
+        self.diag = diag
+
+    @property
+    def is_any(self):
+        return self.pairs is ANY
+
+    @property
+    def is_empty(self):
+        """Provably empty: no pairs, no identity component, not ANY."""
+        return not self.is_any and not self.diag and not self.pairs
+
+    def source_types(self):
+        """Possible source types, or :data:`ANY` when unconstrained."""
+        if self.is_any or self.diag:
+            return ANY
+        return frozenset(s for s, _ in self.pairs)
+
+    def target_types(self):
+        if self.is_any or self.diag:
+            return ANY
+        return frozenset(t for _, t in self.pairs)
+
+    def describe(self):
+        if self.is_any:
+            return "any"
+        parts = sorted(
+            "{}->{}".format(s, t) for s, t in self.pairs
+        )
+        if self.diag:
+            parts.append("T->T")
+        return "{" + ", ".join(parts) + "}" if parts else "{}"
+
+    def __repr__(self):
+        return "Endpoints({})".format(self.describe())
+
+
+_ANY_ENDPOINTS = Endpoints(ANY)
+_DIAG_ENDPOINTS = Endpoints((), diag=True)
+
+
+def _swap(endpoints):
+    if endpoints.is_any:
+        return endpoints
+    return Endpoints(
+        ((t, s) for s, t in endpoints.pairs), diag=endpoints.diag
+    )
+
+
+def _compose(left, right):
+    """Endpoints of ``left . right``; ``None`` pairs-set means mismatch.
+
+    Returns ``(endpoints, ok)`` — ``ok`` is False when the composition
+    is provably empty (the caller reports ``endpoint-mismatch`` and
+    recovers with :data:`ANY` to suppress cascading errors).
+    """
+    if left.is_any or right.is_any:
+        return _ANY_ENDPOINTS, True
+    pairs = set()
+    for s1, t1 in left.pairs:
+        for s2, t2 in right.pairs:
+            if t1 == s2:
+                pairs.add((s1, t2))
+    if left.diag:
+        pairs.update(right.pairs)
+    if right.diag:
+        pairs.update(left.pairs)
+    diag = left.diag and right.diag
+    if not pairs and not diag:
+        return Endpoints(()), False
+    return Endpoints(pairs, diag=diag), True
+
+
+def _intersect(left, right):
+    """Endpoints of ``left & right`` (both must hold between u, v)."""
+    if left.is_any:
+        return right
+    if right.is_any:
+        return left
+    pairs = set(left.pairs & right.pairs)
+    if left.diag:
+        pairs.update((s, t) for s, t in right.pairs if s == t)
+    if right.diag:
+        pairs.update((s, t) for s, t in left.pairs if s == t)
+    return Endpoints(pairs, diag=left.diag and right.diag)
+
+
+def _closure(endpoints):
+    """Endpoints of ``p*``: transitive closure of ``p`` plus identity."""
+    if endpoints.is_any:
+        return _ANY_ENDPOINTS
+    pairs = set(endpoints.pairs)
+    changed = True
+    while changed:
+        changed = False
+        for s1, t1 in list(pairs):
+            for s2, t2 in list(pairs):
+                if t1 == s2 and (s1, t2) not in pairs:
+                    pairs.add((s1, t2))
+                    changed = True
+    return Endpoints(pairs, diag=True)
+
+
+# ----------------------------------------------------------------------
+# Span computation: mirror the AST pretty-printer, recording positions
+# ----------------------------------------------------------------------
+class _SpanRenderer:
+    """Render a pattern exactly like ``str()`` while recording, for each
+    subterm object, its ``(start, end)`` character span in the output.
+
+    The AST keeps no source positions (the parser discards token
+    offsets and the canonicalizer rewrites trees anyway), so spans are
+    computed against the canonical rendering — which is also what users
+    see echoed back in diagnostics, keeping the caret alignment honest.
+    Spans are keyed by ``id(node)``; when one object occurs twice (a
+    shared subterm), the last occurrence wins, which is fine for
+    locating a problem.
+    """
+
+    def __init__(self):
+        self.spans = {}
+        self._chunks = []
+        self._pos = 0
+
+    def text(self):
+        return "".join(self._chunks)
+
+    def _emit(self, chunk):
+        self._chunks.append(chunk)
+        self._pos += len(chunk)
+
+    def render(self, node):
+        start = self._pos
+        if isinstance(node, Epsilon):
+            self._emit("eps")
+        elif isinstance(node, Label):
+            self._emit(node.name)
+        elif isinstance(node, Reverse):
+            self._child(node, node.operand)
+            self._emit("-")
+        elif isinstance(node, Star):
+            self._child(node, node.operand)
+            self._emit("*")
+        elif isinstance(node, Nested):
+            self._emit("[")
+            self.render(node.operand)
+            self._emit("]")
+        elif isinstance(node, Skip):
+            self._emit("<<")
+            self.render(node.operand)
+            self._emit(">>")
+        elif isinstance(node, (Concat, Union, Conj)):
+            sep = {Concat: ".", Union: "+", Conj: "&"}[type(node)]
+            for index, part in enumerate(node.parts):
+                if index:
+                    self._emit(sep)
+                self._child(node, part)
+        else:
+            raise TypeError("not a pattern: {!r}".format(node))
+        self.spans[id(node)] = (start, self._pos)
+
+    def _child(self, parent, child):
+        if child.precedence < parent.precedence:
+            self._emit("(")
+            self.render(child)
+            self._emit(")")
+        else:
+            self.render(child)
+
+
+def render_with_spans(pattern):
+    """``(text, spans)`` where ``spans[id(subterm)] = (start, end)``.
+
+    ``text`` equals ``str(pattern)``.
+    """
+    renderer = _SpanRenderer()
+    renderer.render(pattern)
+    return renderer.text(), renderer.spans
+
+
+class PatternTypeChecker:
+    """Static analysis of pattern ASTs against one schema.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`repro.graph.schema.Schema` to check against.  Its
+        ``node_types`` drive endpoint inference; labels without types
+        are treated as unconstrained (:data:`ANY`).
+    stats:
+        Optional source of graph statistics for density warnings.  Duck
+        typed: needs ``num_nodes()`` and ``label_nnz(name)``.  Without
+        it only structural checks run (no ``star-blowup`` /
+        ``density-budget`` warnings) — which is what the compile-time
+        fail-fast hook wants anyway, since warnings never block.
+    density_budget:
+        Warn when a pattern's estimated result density (nnz over n^2)
+        exceeds this fraction.  Default 0.25: a quarter-dense
+        similarity matrix at serving scale is already an incident.
+    """
+
+    def __init__(self, schema, stats=None, density_budget=0.25):
+        self.schema = schema
+        self.stats = stats
+        self.density_budget = float(density_budget)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check(self, pattern):
+        """All diagnostics for ``pattern``, most severe first."""
+        if not isinstance(pattern, Pattern):
+            raise TypeError("expected a Pattern, got {!r}".format(pattern))
+        text, spans = render_with_spans(pattern)
+        sink = []
+        endpoints = self._infer(pattern, text, spans, sink)
+        if endpoints.is_empty and not has_errors(sink):
+            sink.append(
+                self._diag(
+                    ERROR,
+                    "statically-empty",
+                    "pattern matches no node pair under this schema",
+                    pattern,
+                    text,
+                    spans,
+                )
+            )
+        self._check_density(pattern, text, spans, sink)
+        self._check_redundancy(pattern, text, spans, sink)
+        return sort_diagnostics(sink)
+
+    def check_many(self, patterns):
+        """``[(pattern, diagnostics), ...]`` for a pattern set."""
+        return [(pattern, self.check(pattern)) for pattern in patterns]
+
+    def assert_well_typed(self, pattern):
+        """Raise :class:`PatternTypeError` when ``pattern`` has errors.
+
+        Warnings never raise — they are surfaced by ``repro check`` and
+        ``explain()``, not by the compile path.
+        """
+        diagnostics = self.check(pattern)
+        if has_errors(diagnostics):
+            raise PatternTypeError(diagnostics, pattern=pattern)
+        return diagnostics
+
+    def endpoints(self, pattern):
+        """The inferred :class:`Endpoints` of ``pattern`` (no reporting)."""
+        text, spans = render_with_spans(pattern)
+        return self._infer(pattern, text, spans, [])
+
+    # ------------------------------------------------------------------
+    # Endpoint inference
+    # ------------------------------------------------------------------
+    def _diag(self, severity, code, message, node, text, spans):
+        return Diagnostic(
+            severity,
+            code,
+            message,
+            span=spans.get(id(node)),
+            pattern_text=text,
+        )
+
+    def _infer(self, node, text, spans, sink):
+        if isinstance(node, Epsilon):
+            return _DIAG_ENDPOINTS
+        if isinstance(node, Label):
+            if node.name not in self.schema.labels:
+                sink.append(
+                    self._diag(
+                        ERROR,
+                        "unknown-label",
+                        "unknown edge label {!r} (schema labels: {})".format(
+                            node.name, sorted(self.schema.labels)
+                        ),
+                        node,
+                        text,
+                        spans,
+                    )
+                )
+                return _ANY_ENDPOINTS
+            types = self.schema.node_types.get(node.name)
+            if types is None:
+                return _ANY_ENDPOINTS
+            source, target = types
+            return Endpoints([(source, target)])
+        if isinstance(node, Reverse):
+            return _swap(self._infer(node.operand, text, spans, sink))
+        if isinstance(node, Star):
+            return _closure(self._infer(node.operand, text, spans, sink))
+        if isinstance(node, Skip):
+            return self._infer(node.operand, text, spans, sink)
+        if isinstance(node, Nested):
+            inner = self._infer(node.operand, text, spans, sink)
+            if inner.is_any or inner.diag:
+                # Sources unconstrained -> the diagonal restriction is
+                # unconstrained too; ANY keeps the algebra honest.
+                return _ANY_ENDPOINTS
+            if inner.is_empty:
+                return inner
+            return Endpoints((s, s) for s in inner.source_types())
+        if isinstance(node, Concat):
+            return self._infer_concat(node, text, spans, sink)
+        if isinstance(node, Union):
+            return self._infer_union(node, text, spans, sink)
+        if isinstance(node, Conj):
+            return self._infer_conj(node, text, spans, sink)
+        raise TypeError("not a pattern: {!r}".format(node))
+
+    def _infer_concat(self, node, text, spans, sink):
+        acc = None
+        for part in node.parts:
+            part_endpoints = self._infer(part, text, spans, sink)
+            if acc is None:
+                acc = part_endpoints
+                continue
+            composed, ok = _compose(acc, part_endpoints)
+            if not ok:
+                sink.append(
+                    self._diag(
+                        ERROR,
+                        "endpoint-mismatch",
+                        "cannot compose: left side ends in type(s) "
+                        "{} but {!r} starts from type(s) {}".format(
+                            _describe_types(acc.target_types()),
+                            str(part),
+                            _describe_types(part_endpoints.source_types()),
+                        ),
+                        part,
+                        text,
+                        spans,
+                    )
+                )
+                # Recover with ANY so one bad junction doesn't cascade
+                # into a mismatch report at every later junction.
+                acc = _ANY_ENDPOINTS
+            else:
+                acc = composed
+        return acc
+
+    def _infer_union(self, node, text, spans, sink):
+        branch_endpoints = [
+            self._infer(part, text, spans, sink) for part in node.parts
+        ]
+        # Two branches mismatch when they are *half-aligned*: they can
+        # start from a common source type but necessarily end at
+        # disjoint target types (one candidate row would then mix
+        # incomparable node populations), or symmetrically share target
+        # types while starting from disjoint sources.  Fully disjoint
+        # branches are fine — they build a block matrix ("similar among
+        # areas OR similar among papers"), an idiom the Algorithm-1
+        # expansions rely on.
+        for i in range(len(branch_endpoints)):
+            for j in range(i + 1, len(branch_endpoints)):
+                left, right = branch_endpoints[i], branch_endpoints[j]
+                if left.is_empty or right.is_empty:
+                    continue
+                sources_overlap = _sets_overlap(
+                    left.source_types(), right.source_types()
+                )
+                targets_overlap = _sets_overlap(
+                    left.target_types(), right.target_types()
+                )
+                if sources_overlap != targets_overlap:
+                    side = "source" if sources_overlap else "target"
+                    other = "target" if sources_overlap else "source"
+                    sink.append(
+                        self._diag(
+                            ERROR,
+                            "union-mismatch",
+                            "union branches {!r} ({}) and {!r} ({}) "
+                            "share {} types but have disjoint {} "
+                            "types; one candidate population would "
+                            "mix incomparable nodes".format(
+                                str(node.parts[i]),
+                                left.describe(),
+                                str(node.parts[j]),
+                                right.describe(),
+                                side,
+                                other,
+                            ),
+                            node,
+                            text,
+                            spans,
+                        )
+                    )
+                    return _ANY_ENDPOINTS
+        pairs = set()
+        diag = False
+        for endpoints in branch_endpoints:
+            if endpoints.is_any:
+                return _ANY_ENDPOINTS
+            pairs.update(endpoints.pairs)
+            diag = diag or endpoints.diag
+        return Endpoints(pairs, diag=diag)
+
+    def _infer_conj(self, node, text, spans, sink):
+        acc = _ANY_ENDPOINTS
+        for part in node.parts:
+            acc = _intersect(acc, self._infer(part, text, spans, sink))
+        if acc.is_empty:
+            sink.append(
+                self._diag(
+                    ERROR,
+                    "statically-empty",
+                    "conjunction branches have type-disjoint endpoint "
+                    "sets; '&' requires both relationships between the "
+                    "same node pair, so this pattern matches nothing",
+                    node,
+                    text,
+                    spans,
+                )
+            )
+            return _ANY_ENDPOINTS
+        return acc
+
+    # ------------------------------------------------------------------
+    # Density estimation (warnings; needs stats)
+    # ------------------------------------------------------------------
+    def _check_density(self, pattern, text, spans, sink):
+        if self.stats is None:
+            return
+        n = float(self.stats.num_nodes())
+        if n <= 0:
+            return
+        budget_nnz = self.density_budget * n * n
+        for star_node in _walk(pattern):
+            if not isinstance(star_node, Star):
+                continue
+            estimate = self._estimate(star_node, n)
+            if estimate > budget_nnz:
+                sink.append(
+                    self._diag(
+                        WARNING,
+                        "star-blowup",
+                        "Kleene star closure estimated at ~{} nonzeros "
+                        "({:.0%} dense over {} nodes); expect a "
+                        "near-dense intermediate".format(
+                            _fmt_count(estimate),
+                            min(estimate / (n * n), 1.0),
+                            _fmt_count(n),
+                        ),
+                        star_node,
+                        text,
+                        spans,
+                    )
+                )
+        total = self._estimate(pattern, n)
+        if total > budget_nnz:
+            sink.append(
+                self._diag(
+                    WARNING,
+                    "density-budget",
+                    "estimated result density {:.0%} exceeds the "
+                    "configured budget of {:.0%} ({} estimated "
+                    "nonzeros over {} nodes)".format(
+                        min(total / (n * n), 1.0),
+                        self.density_budget,
+                        _fmt_count(total),
+                        _fmt_count(n),
+                    ),
+                    pattern,
+                    text,
+                    spans,
+                )
+            )
+
+    def _estimate(self, node, n):
+        """Estimated nnz of the subterm's matrix.
+
+        The same uniform-sparsity surrogate the chain planner uses:
+        a product of matrices with ``a`` and ``b`` nonzeros over ``n``
+        nodes has expected nnz ``min(n^2, a * b / n)``.
+        """
+        dense = n * n
+        if isinstance(node, Epsilon):
+            return n
+        if isinstance(node, Label):
+            if node.name not in self.schema.labels:
+                return 0.0
+            return float(self.stats.label_nnz(node.name))
+        if isinstance(node, Reverse):
+            return self._estimate(node.operand, n)
+        if isinstance(node, Skip):
+            return self._estimate(node.operand, n)
+        if isinstance(node, Nested):
+            return min(self._estimate(node.operand, n), n)
+        if isinstance(node, Star):
+            operand = self._estimate(node.operand, n)
+            degree = operand / n if n else 0.0
+            if degree >= 1.0:
+                # Average out-degree >= 1: the closure of the giant
+                # component is effectively dense.
+                return dense
+            # Geometric series: nnz(I + M + M^2 + ...) under the
+            # uniform surrogate with ratio `degree` < 1.
+            return min(dense, n + operand / (1.0 - degree))
+        if isinstance(node, Concat):
+            acc = None
+            for part in node.parts:
+                part_nnz = self._estimate(part, n)
+                if acc is None:
+                    acc = part_nnz
+                else:
+                    acc = min(dense, acc * part_nnz / n if n else 0.0)
+            return acc if acc is not None else 0.0
+        if isinstance(node, Union):
+            return min(
+                dense, sum(self._estimate(part, n) for part in node.parts)
+            )
+        if isinstance(node, Conj):
+            return min(self._estimate(part, n) for part in node.parts)
+        raise TypeError("not a pattern: {!r}".format(node))
+
+    # ------------------------------------------------------------------
+    # Redundant spellings the canonicalizer collapses
+    # ------------------------------------------------------------------
+    def _check_redundancy(self, pattern, text, spans, sink):
+        for node in _walk(pattern):
+            if isinstance(node, Reverse) and isinstance(
+                node.operand, Reverse
+            ):
+                sink.append(
+                    self._diag(
+                        WARNING,
+                        "redundant-reverse",
+                        "double reverse collapses to {!r}; drop both "
+                        "'-' operators".format(str(node.operand.operand)),
+                        node,
+                        text,
+                        spans,
+                    )
+                )
+            elif isinstance(node, Union):
+                seen = []
+                for part in node.parts:
+                    if part in seen:
+                        sink.append(
+                            self._diag(
+                                WARNING,
+                                "redundant-union",
+                                "duplicate union branch {!r}; '+' is "
+                                "set union, so the canonicalizer "
+                                "drops the repeat".format(str(part)),
+                                node,
+                                text,
+                                spans,
+                            )
+                        )
+                        break
+                    seen.append(part)
+
+
+def _walk(pattern):
+    yield pattern
+    for child in pattern.children():
+        yield from _walk(child)
+
+
+def _sets_overlap(left, right):
+    """Whether two source/target type sets intersect; ANY is universal."""
+    if left is ANY:
+        return right is ANY or bool(right)
+    if right is ANY:
+        return bool(left)
+    return bool(left & right)
+
+
+def _describe_types(types):
+    if types is ANY:
+        return "any"
+    return "{" + ", ".join(sorted(types)) + "}" if types else "{}"
+
+
+def _fmt_count(value):
+    value = int(value)
+    if value >= 10**9:
+        return "{:.1f}B".format(value / 10**9)
+    if value >= 10**6:
+        return "{:.1f}M".format(value / 10**6)
+    if value >= 10**4:
+        return "{:.0f}k".format(value / 10**3)
+    return str(value)

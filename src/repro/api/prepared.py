@@ -27,6 +27,7 @@ bound state exactly once.
 
 from repro.api.registry import algorithm_class
 from repro.exceptions import EvaluationError
+from repro.lang.ast import Pattern
 from repro.similarity.base import SimilarityAlgorithm
 
 _UNSET = object()
@@ -159,12 +160,21 @@ def bind(session, spec, warm=True, expanded_patterns=None):
                     session, algorithm, options, expand
                 )
         instance = session.algorithm(algorithm, **options)
+    patterns = _patterns_of(instance)
+    # Fail fast on ill-typed patterns even without warming: compiling is
+    # plan-only (no matrices), and the compiler's schema-aware type
+    # checker raises PatternTypeError here — before the caller gets a
+    # handle whose first run would surface the problem as an empty or
+    # nonsensical ranking.
+    for pattern in patterns:
+        if isinstance(pattern, Pattern):
+            session.engine.compile(pattern)
     if warm:
         instance.prepare_scoring()
         answer_type = getattr(instance, "_answer_type", None)
         if answer_type is not None and instance._view is not None:
             instance._view.candidate_index(answer_type)
-    return _BoundQuery(session, instance, _patterns_of(instance))
+    return _BoundQuery(session, instance, patterns)
 
 
 class PreparedQuery:

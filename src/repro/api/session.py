@@ -150,6 +150,19 @@ class SimilaritySession:
             raise EvaluationError("at least one pattern is required")
         return patterns
 
+    def check(self, pattern_or_patterns):
+        """Static type-check of a pattern set against the schema.
+
+        Returns ``[(pattern, [Diagnostic, ...]), ...]`` in input order,
+        errors and warnings both, without raising and without compiling
+        anything — the inspection companion to the enforcement built
+        into :meth:`prepare`/:meth:`explain` (which raise
+        :class:`~repro.exceptions.PatternTypeError` on error-severity
+        diagnostics).  Accepts pattern strings or ASTs; the ``repro
+        check`` CLI verb is a thin wrapper over this.
+        """
+        return self._engine.check(self._as_pattern_list(pattern_or_patterns))
+
     def explain(self, pattern_or_patterns):
         """The compiled evaluation plan for one pattern or a pattern set.
 

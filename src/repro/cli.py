@@ -8,6 +8,7 @@ Subcommands mirror the research workflow::
     repro query db.json --algorithm rwr --node X         # any registered algo
     repro query db.json --pattern "r-a-.r-a" --node X --expand   # Algorithm 1
     repro explain db.json --pattern "r-a-.r-a" --expand  # compiled plan
+    repro check db.json --pattern "r-a-.r-a" --json      # static type check
     repro serve db.json --pattern "r-a-.r-a" --expand    # HTTP server
     repro serve --snapshot snap.npz                      # ... warm-started
     repro serve-bench db.json --pattern "r-a-.r-a" --expand      # serving
@@ -228,6 +229,41 @@ def build_parser():
         help="pattern budget for --expand",
     )
     _add_delta_flags(explain)
+
+    check = sub.add_parser(
+        "check", help="static type-check patterns against a database schema"
+    )
+    check.add_argument("database")
+    check.add_argument(
+        "--pattern",
+        action="append",
+        required=True,
+        dest="patterns",
+        help="RRE pattern (repeat for a set)",
+    )
+    check.add_argument(
+        "--expand",
+        action="store_true",
+        help="run Algorithm 1 on the (single) simple pattern first",
+    )
+    check.add_argument(
+        "--max-expand",
+        type=int,
+        default=16,
+        help="pattern budget for --expand",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable diagnostics (one JSON object)",
+    )
+    check.add_argument(
+        "--density-budget",
+        type=float,
+        default=0.25,
+        help="warn when estimated result density exceeds this fraction",
+    )
 
     transform = sub.add_parser("transform", help="apply a catalog mapping")
     transform.add_argument("database")
@@ -494,6 +530,107 @@ def _cmd_explain(args, out):
         patterns = list(generated.patterns)
     print(session.explain(patterns), file=out)
     return 0
+
+
+def _cmd_check(args, out):
+    """``repro check``: static pattern diagnostics, exit 1 on errors.
+
+    Runs the schema-aware type checker over the pattern set (after
+    Algorithm-1 expansion when ``--expand`` is given) and prints every
+    diagnostic with its source span — nothing is evaluated, so this is
+    safe to run in CI against production pattern corpora.
+    """
+    import json as json_module
+
+    from repro.analysis import PatternTypeChecker
+    from repro.lang.matrix_semantics import ViewStats
+
+    database = load_json(args.database)
+    session = SimilaritySession(database)
+    patterns = [parse_pattern(text) for text in args.patterns]
+    if args.expand:
+        if len(patterns) != 1:
+            raise EvaluationError(
+                "--expand runs Algorithm 1 on one simple pattern; got "
+                "{}".format(len(patterns))
+            )
+        generated = generate_patterns(
+            patterns[0],
+            database.schema.constraints,
+            max_patterns=args.max_expand,
+        )
+        patterns = list(generated.patterns)
+    checker = PatternTypeChecker(
+        database.schema,
+        stats=ViewStats(session.view),
+        density_budget=args.density_budget,
+    )
+    results = checker.check_many(patterns)
+    errors = warnings = 0
+    if args.as_json:
+        report = []
+        for pattern, diagnostics in results:
+            errors += sum(d.is_error for d in diagnostics)
+            warnings += sum(not d.is_error for d in diagnostics)
+            report.append(
+                {
+                    "pattern": str(pattern),
+                    "ok": not any(d.is_error for d in diagnostics),
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                }
+            )
+        print(
+            json_module.dumps(
+                {
+                    "patterns": report,
+                    "errors": errors,
+                    "warnings": warnings,
+                },
+                indent=2,
+            ),
+            file=out,
+        )
+    else:
+        for position, (pattern, diagnostics) in enumerate(results, start=1):
+            pattern_errors = sum(d.is_error for d in diagnostics)
+            errors += pattern_errors
+            warnings += len(diagnostics) - pattern_errors
+            if not diagnostics:
+                endpoints = checker.endpoints(pattern)
+                print(
+                    "[{}] {}: ok (endpoints {})".format(
+                        position, pattern, endpoints.describe()
+                    ),
+                    file=out,
+                )
+                continue
+            print(
+                "[{}] {}: {} error{}, {} warning{}".format(
+                    position,
+                    pattern,
+                    pattern_errors,
+                    "" if pattern_errors == 1 else "s",
+                    len(diagnostics) - pattern_errors,
+                    "" if len(diagnostics) - pattern_errors == 1 else "s",
+                ),
+                file=out,
+            )
+            for diagnostic in diagnostics:
+                report = diagnostic.format(caret=True)
+                for line in report.splitlines():
+                    print("    {}".format(line), file=out)
+        print(
+            "checked {} pattern{}: {} error{}, {} warning{}".format(
+                len(results),
+                "" if len(results) == 1 else "s",
+                errors,
+                "" if errors == 1 else "s",
+                warnings,
+                "" if warnings == 1 else "s",
+            ),
+            file=out,
+        )
+    return 1 if errors else 0
 
 
 def _serving_service(args, out):
@@ -773,6 +910,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "query": _cmd_query,
     "explain": _cmd_explain,
+    "check": _cmd_check,
     "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
     "transform": _cmd_transform,

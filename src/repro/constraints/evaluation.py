@@ -13,6 +13,7 @@ database.  Two layers:
 On top of those, :func:`satisfies` checks ``D |= tgd`` (and egds).
 """
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ConstraintError
@@ -56,9 +57,17 @@ def rpq_boolean_matrix(view, pattern):
     if isinstance(pattern, Skip):
         return rpq_boolean_matrix(view, pattern.operand)
     if isinstance(pattern, Nested):
-        inner = rpq_boolean_matrix(view, pattern.operand)
-        diagonal = inner.max(axis=1).toarray().ravel()
-        return sp.diags((diagonal > 0).astype(float), format="csr")
+        inner = rpq_boolean_matrix(view, pattern.operand).tocsr()
+        # A row has an outgoing match iff its CSR indptr range is
+        # nonempty; every producer above runs through boolean() (which
+        # eliminates explicit zeros), so stored-nonzero == nonzero.
+        # Builds the diagonal with one nonzero per supported row instead
+        # of densifying an n-vector via max(axis=1).toarray().
+        support = np.flatnonzero(np.diff(inner.indptr))
+        return sp.csr_matrix(
+            (np.ones(support.size), (support, support)),
+            shape=inner.shape,
+        )
     if isinstance(pattern, Conj):
         product = rpq_boolean_matrix(view, pattern.parts[0])
         for part in pattern.parts[1:]:

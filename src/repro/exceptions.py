@@ -130,6 +130,45 @@ class EvaluationError(ReproError):
     """A similarity query could not be evaluated."""
 
 
+class PatternTypeError(EvaluationError):
+    """The static pattern type checker rejected a pattern.
+
+    Raised before any matrix work happens — at ``PlanCompiler.compile``,
+    ``session.prepare()``, and therefore before a request reaches the
+    engine — so an ill-typed pattern fails loudly instead of producing
+    an empty or nonsensical ranking.
+
+    ``diagnostics`` holds the full severity-ranked list of
+    :class:`repro.analysis.diagnostics.Diagnostic` objects (errors and
+    warnings); the message summarizes the first error.  The attribute is
+    duck-typed so this module stays import-free.
+    """
+
+    def __init__(self, diagnostics, pattern=None):
+        self.diagnostics = list(diagnostics)
+        self.pattern = pattern
+        errors = [d for d in self.diagnostics if d.severity == "error"]
+        first = errors[0] if errors else self.diagnostics[0]
+        message = first.message
+        if pattern is not None:
+            message = "pattern {!r}: {}".format(str(pattern), message)
+        if len(errors) > 1:
+            message += " (+{} more error{})".format(
+                len(errors) - 1, "s" if len(errors) > 2 else ""
+            )
+        super().__init__(message)
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A serving/engine knob was configured with an unusable value.
+
+    Subclasses :class:`ValueError` so callers (and tests) that guarded
+    the old bare ``ValueError`` keep working, while joining the library
+    hierarchy so the server layer can report misconfiguration like every
+    other library failure.
+    """
+
+
 class SnapshotError(ReproError):
     """A serving snapshot file could not be read, parsed, or verified.
 

@@ -39,7 +39,13 @@ from collections import Counter, OrderedDict
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import EvaluationError, ReproError, StarDivergenceError
+from repro.analysis import PatternTypeChecker, has_errors
+from repro.exceptions import (
+    ConfigurationError,
+    EvaluationError,
+    ReproError,
+    StarDivergenceError,
+)
 from repro.graph.matrices import (
     MatrixView,
     boolean,
@@ -73,6 +79,27 @@ from repro.lang.plan import (
 #: Sentinel for a cache entry the delta pass cannot maintain cheaply —
 #: it is dropped (lazily recomputed on next use) instead of patched.
 _INVALID = object()
+
+
+class ViewStats:
+    """Adapter feeding graph statistics to the pattern type checker.
+
+    The checker only needs node and per-label edge counts; routing them
+    through the view reuses the adjacency cache the engine needs for
+    evaluation anyway, so density warnings cost one ``nnz`` lookup per
+    leaf.
+    """
+
+    __slots__ = ("_view",)
+
+    def __init__(self, view):
+        self._view = view
+
+    def num_nodes(self):
+        return self._view.num_nodes()
+
+    def label_nnz(self, label):
+        return self._view.adjacency(label).nnz
 
 
 def _star_sum(identity, base, max_depth, origin):
@@ -246,7 +273,7 @@ class CommutingMatrixEngine:
         if max_star_depth is None:
             max_star_depth = max(self._view.num_nodes(), 1)
         if max_cached_matrices is not None and max_cached_matrices < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 "max_cached_matrices must be >= 1 or None, got {}".format(
                     max_cached_matrices
                 )
@@ -254,7 +281,15 @@ class CommutingMatrixEngine:
         self._max_star_depth = max_star_depth
         self._max_cached = max_cached_matrices
         self._rebuild_threshold = float(delta_rebuild_threshold)
-        self._compiler = PlanCompiler()
+        # Every new pattern is statically type-checked against the
+        # database schema before it compiles: ill-typed patterns raise
+        # PatternTypeError here instead of evaluating to an empty or
+        # nonsensical ranking.  Untyped schemas (no node_types) only
+        # ever reject unknown labels.
+        self._checker = PatternTypeChecker(
+            self._view.database.schema, stats=ViewStats(self._view)
+        )
+        self._compiler = PlanCompiler(checker=self._checker)
         self._lock = threading.RLock()
         self._cache = OrderedDict()
         self._column_norms = OrderedDict()
@@ -296,6 +331,17 @@ class CommutingMatrixEngine:
                 "pattern must be a Pattern AST, got {!r}".format(pattern)
             )
         return self._compiler.compile(pattern)
+
+    def check(self, patterns):
+        """Static diagnostics for a pattern set, without compiling it.
+
+        Returns ``[(pattern, [Diagnostic, ...]), ...]`` in input order —
+        errors *and* warnings, nothing raised.  This is the inspection
+        entry (``repro check``, ``/check`` over HTTP); the enforcement
+        path is :meth:`compile`, which raises
+        :class:`~repro.exceptions.PatternTypeError` on errors.
+        """
+        return self._checker.check_many(patterns)
 
     def matrix(self, pattern):
         """The commuting matrix ``M_pattern`` (CSR, cached)."""
@@ -353,6 +399,10 @@ class CommutingMatrixEngine:
         clone._max_star_depth = self._max_star_depth
         clone._max_cached = self._max_cached
         clone._rebuild_threshold = self._rebuild_threshold
+        # Shared with the compiler: a delta never changes the schema, so
+        # the parent's checker stays exact for the fork (its density
+        # *estimates* read the parent view — a warning-tier approximation).
+        clone._checker = self._checker
         clone._compiler = self._compiler
         clone._lock = threading.RLock()
         with self._lock:
@@ -1063,7 +1113,9 @@ class CommutingMatrixEngine:
         Runs through :meth:`matrices_many`, so longer meta-paths are
         built from the already-materialized shorter ones (a length-3
         chain is one sparse product on top of a cached length-2 chain)
-        instead of being recomputed from the leaves.
+        instead of being recomputed from the leaves.  Under a typed
+        schema, label combinations the type checker rejects (provably
+        empty chains like ``p-in.p-in``) are pruned up front.
 
         Raises :class:`~repro.exceptions.EvaluationError` when the
         requested pattern set does not fit under
@@ -1074,26 +1126,32 @@ class CommutingMatrixEngine:
             labels = sorted(self._view.database.used_labels())
         steps = [(name, False) for name in labels]
         steps += [(name, True) for name in labels]
-        if self._max_cached is not None:
-            total = sum(
-                len(steps) ** length for length in range(1, max_length + 1)
-            )
-            if total > self._max_cached:
-                # Materializing past the cap would silently thrash the
-                # LRU (each new matrix evicting the last) and return a
-                # capped, misleading count.
-                raise EvaluationError(
-                    "materializing {} simple patterns (labels={}, "
-                    "max_length={}) exceeds max_cached_matrices={}; raise "
-                    "the cap or materialize fewer patterns".format(
-                        total, sorted(labels), max_length, self._max_cached
-                    )
-                )
         patterns = [
             simple_pattern(list(combo))
             for length in range(1, max_length + 1)
             for combo in itertools.product(steps, repeat=length)
         ]
+        # Under a typed schema most label combinations are ill-typed
+        # (``p-in.p-in`` composes a proc into a paper-source label) and
+        # provably empty; "all meta-paths" sensibly means the
+        # type-conforming ones, and compiling the rest would fail fast.
+        patterns = [
+            pattern
+            for pattern in patterns
+            if not has_errors(self._checker.check(pattern))
+        ]
+        if self._max_cached is not None and len(patterns) > self._max_cached:
+            # Materializing past the cap would silently thrash the
+            # LRU (each new matrix evicting the last) and return a
+            # capped, misleading count.
+            raise EvaluationError(
+                "materializing {} simple patterns (labels={}, "
+                "max_length={}) exceeds max_cached_matrices={}; raise "
+                "the cap or materialize fewer patterns".format(
+                    len(patterns), sorted(labels), max_length,
+                    self._max_cached
+                )
+            )
         self.matrices_many(patterns)
         with self._lock:
             return len(self._cache)
@@ -1323,6 +1381,10 @@ class CommutingMatrixEngine:
                     else ", est cost ~ {:.0f} flops (amortized)".format(cost),
                 )
             )
+            # Static diagnostics (warning tier only: the compile above
+            # already raised on errors).
+            for diagnostic in self._checker.check(pattern):
+                lines.append("    diagnostics: {}".format(diagnostic.format()))
         if shared:
             lines.append("shared sub-plans (each evaluated once):")
             for node in shared:

@@ -194,12 +194,18 @@ class PlanCompiler:
     _MAX_PATTERN_MEMO = 50_000
     _MAX_SUBCHAIN_ENTRIES = 200_000
 
-    def __init__(self):
+    def __init__(self, checker=None):
         self.lock = threading.RLock()
         self._interned = {}
         self._by_pattern = {}
         self._next_uid = 0
         self.subchain_uses = Counter()
+        #: Optional :class:`repro.analysis.PatternTypeChecker`.  When
+        #: set, every *new* pattern is type-checked on the memo-miss
+        #: path and ill-typed ones raise ``PatternTypeError`` before a
+        #: plan node (or any matrix) exists for them.  Memo hits skip
+        #: the check by construction: a memoized pattern already passed.
+        self.checker = checker
         self.eps = self._intern("eps", None, ())
 
     def __len__(self):
@@ -254,6 +260,8 @@ class PlanCompiler:
         with self.lock:
             node = self._by_pattern.get(pattern)
             if node is None:
+                if self.checker is not None:
+                    self.checker.assert_well_typed(pattern)
                 if len(self._by_pattern) >= self._MAX_PATTERN_MEMO:
                     self._by_pattern.clear()
                 node = self._node_of(canonicalize(pattern))

@@ -34,6 +34,7 @@ import time
 from functools import partial
 from http.client import responses as _REASONS
 
+from repro.exceptions import ConfigurationError
 from repro.server import protocol
 from repro.server.batching import PREPARED_DEFAULT, CoalescingBatcher
 from repro.server.protocol import HttpError
@@ -93,7 +94,7 @@ class ReproServer:
         snapshot_path=None,
     ):
         if max_inflight < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 "max_inflight must be >= 1, got {}".format(max_inflight)
             )
         self.service = service

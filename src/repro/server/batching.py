@@ -30,6 +30,8 @@ manipulation race-free without locks.
 import asyncio
 from functools import partial
 
+from repro.exceptions import ConfigurationError
+
 #: "Use the prepared query's default top_k" — distinct from None, which
 #: explicitly requests the full ranking.
 PREPARED_DEFAULT = object()
@@ -59,9 +61,11 @@ class CoalescingBatcher:
 
     def __init__(self, prepared, window=0.002, max_batch=64, executor=None):
         if window < 0:
-            raise ValueError("window must be >= 0, got {}".format(window))
+            raise ConfigurationError(
+                "window must be >= 0, got {}".format(window)
+            )
         if max_batch < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 "max_batch must be >= 1, got {}".format(max_batch)
             )
         self._prepared = prepared

@@ -26,6 +26,7 @@ import json
 from repro.exceptions import (
     EvaluationError,
     PatternSyntaxError,
+    PatternTypeError,
     RegistryError,
     ReproError,
     UnknownEdgeError,
@@ -61,6 +62,19 @@ def error_response(error):
     """``(status, payload, headers)`` for any handler exception."""
     if isinstance(error, HttpError):
         return error.status, {"error": error.message}, error.headers
+    if isinstance(error, PatternTypeError):
+        # Static type-check rejections carry the full diagnostic list;
+        # put it in the body so clients can render spans and severities
+        # instead of re-parsing the message string.
+        return (
+            400,
+            {
+                "error": str(error),
+                "kind": "PatternTypeError",
+                "diagnostics": [d.to_dict() for d in error.diagnostics],
+            },
+            {},
+        )
     for exc_type, status in _ERROR_STATUS:
         if isinstance(error, exc_type):
             return (

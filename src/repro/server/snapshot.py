@@ -208,6 +208,7 @@ def load_session(path, **session_options):
                 offsets[key] = start + count
                 chunk = pools[key][start : start + count]
                 if len(chunk) != count:
+                    # repro-lint: ok(exception-taxonomy) internal control flow; the except below converts it to SnapshotError
                     raise ValueError(
                         "pool {} exhausted at {}".format(key, start)
                     )

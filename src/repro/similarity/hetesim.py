@@ -23,7 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import EvaluationError
-from repro.graph.matrices import row_normalize
+from repro.graph.matrices import dense_rows, row_normalize
 from repro.lang.ast import Pattern, simple_steps
 from repro.lang.parser import parse_pattern
 from repro.similarity.base import SimilarityAlgorithm, resolve_view
@@ -145,7 +145,8 @@ class HeteSim(SimilarityAlgorithm):
         left_rows = self._left[indices, :].tocsr()
         squared = left_rows.multiply(left_rows).sum(axis=1)
         source_norms = np.sqrt(np.asarray(squared).ravel())
-        products = (left_rows @ self._right.T).toarray()
+        product = (left_rows @ self._right.T).tocsr()
+        products = dense_rows(product, range(product.shape[0]))
         target_norms = self._norms_of_right()
         denominator = source_norms[:, None] * target_norms[None, :]
         scores = np.zeros_like(products)

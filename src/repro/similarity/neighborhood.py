@@ -11,7 +11,7 @@ baselines for the robustness experiments.
 import numpy as np
 
 from repro.exceptions import EvaluationError
-from repro.graph.matrices import boolean
+from repro.graph.matrices import boolean, dense_rows
 from repro.similarity.base import SimilarityAlgorithm, resolve_view
 
 
@@ -41,7 +41,8 @@ class CommonNeighbors(SimilarityAlgorithm):
         """
         queries = list(queries)
         indices = self._view.query_indices(queries)
-        counts = (self._boolean[indices, :] @ self._boolean).toarray()
+        product = (self._boolean[indices, :] @ self._boolean).tocsr()
+        counts = dense_rows(product, range(product.shape[0]))
         return indices, counts
 
 

@@ -31,14 +31,16 @@ def simrank_matrix(
     when the largest entry change drops below ``tolerance``.
     """
     n = adjacency.shape[0]
-    transition = column_normalize(adjacency)
+    # Keep the transition matrix sparse: the scores are inherently a
+    # dense n x n block, but P has O(|E|) nonzeros, so sparse-times-
+    # dense products cost O(nnz * n) instead of O(n^3) and never
+    # materialize a second n x n array for P itself.
+    transition = column_normalize(adjacency).tocsr()
+    transpose = transition.T.tocsr()
     scores = np.identity(n)
     identity = np.identity(n)
-    dense_transition = transition.toarray()
     for _ in range(iterations):
-        updated = damping * (
-            dense_transition.T @ scores @ dense_transition
-        )
+        updated = damping * np.asarray(transpose @ scores @ transition)
         np.fill_diagonal(updated, 1.0)
         delta = np.abs(updated - scores).max()
         scores = updated

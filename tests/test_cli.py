@@ -519,3 +519,78 @@ def test_serve_validates_algorithm_flags(dblp_json, capsys):
     )
     assert code == 2
     assert "does not take --pattern" in capsys.readouterr().err
+
+
+def test_check_clean_pattern(dblp_json):
+    code, output = run_cli(
+        ["check", dblp_json, "--pattern", "r-a-.r-a"]
+    )
+    assert code == 0
+    assert "r-a-.r-a: ok" in output
+    assert "endpoints {area->area}" in output
+    assert "checked 1 pattern: 0 errors, 0 warnings" in output
+
+
+def test_check_reports_errors_with_caret(dblp_json):
+    code, output = run_cli(["check", dblp_json, "--pattern", "r-a.r-a"])
+    assert code == 1
+    assert "1 error" in output
+    assert "error[endpoint-mismatch] at 4..7" in output
+    # Caret line underlines the offending subterm of the rendering.
+    lines = output.splitlines()
+    caret = next(line for line in lines if line.strip().startswith("^"))
+    assert caret.strip() == "^^^"
+
+
+def test_check_mixed_patterns_exit_code(dblp_json):
+    code, output = run_cli(
+        [
+            "check",
+            dblp_json,
+            "--pattern",
+            "r-a-.r-a",
+            "--pattern",
+            "no-such-label",
+        ]
+    )
+    assert code == 1
+    assert "unknown-label" in output
+    assert "checked 2 patterns: 1 error" in output
+
+
+def test_check_json_output(dblp_json):
+    import json
+
+    code, output = run_cli(
+        ["check", dblp_json, "--pattern", "r-a.r-a", "--json"]
+    )
+    assert code == 1
+    payload = json.loads(output)
+    assert payload["errors"] == 1
+    entry = payload["patterns"][0]
+    assert entry["ok"] is False
+    diagnostic = entry["diagnostics"][0]
+    assert diagnostic["code"] == "endpoint-mismatch"
+    assert diagnostic["span"] == [4, 7]
+
+
+def test_check_expand(dblp_json):
+    code, output = run_cli(
+        [
+            "check",
+            dblp_json,
+            "--pattern",
+            "r-a-.p-in.p-in-.r-a",
+            "--expand",
+            "--max-expand",
+            "8",
+        ]
+    )
+    assert code == 0
+    assert "checked 8 patterns: 0 errors" in output
+
+
+def test_check_bad_pattern_syntax(dblp_json, capsys):
+    code, _ = run_cli(["check", dblp_json, "--pattern", "(((", "--json"])
+    assert code == 2
+    assert capsys.readouterr().err

@@ -1,0 +1,119 @@
+"""Parity tests for the dense-materialization fixes.
+
+The static-analysis PR replaced unguarded ``.toarray()`` calls with
+sparse-native equivalents: ``dense_rows`` buffer reads for the k x n
+batch slices (CommonNeighbors, HeteSim), CSR indptr row support for the
+nested-pattern diagonal, and sparse matmuls for SimRank's iteration.
+Each test pins a replacement to the dense formulation it displaced.
+The first three are bitwise-identical by construction; SimRank's sparse
+product is allowed float ulp jitter but must stay within 1e-12 of the
+dense iteration.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.constraints.evaluation import rpq_boolean_matrix
+from repro.graph.matrices import MatrixView, column_normalize
+from repro.lang.parser import parse_pattern
+from repro.similarity import CommonNeighbors, HeteSim
+from repro.similarity.simrank import simrank_matrix
+
+
+def _dense_nested_reference(inner):
+    """The pre-fix Nested diagonal: dense row-max, then sp.diags."""
+    diagonal = inner.max(axis=1).toarray().ravel()
+    return sp.diags((diagonal > 0).astype(float), format="csr")
+
+
+def test_nested_diagonal_matches_dense_reference(tiny_db):
+    view = MatrixView(tiny_db)
+    for text in ["[a]", "[a.b]", "[c*]", "[a+b]", "[b-]"]:
+        pattern = parse_pattern(text)
+        inner = rpq_boolean_matrix(view, pattern.operand)
+        expected = _dense_nested_reference(inner)
+        actual = rpq_boolean_matrix(view, pattern)
+        assert actual.shape == expected.shape
+        assert np.array_equal(actual.toarray(), expected.toarray()), text
+        assert actual.dtype == np.float64
+
+
+def test_nested_diagonal_stores_no_explicit_zeros(tiny_db):
+    # The old sp.diags construction stored a zero for every unsupported
+    # row; the indptr-support rebuild must store only the true support
+    # (downstream indptr reads rely on stored-nonzero == nonzero).
+    view = MatrixView(tiny_db)
+    matrix = rpq_boolean_matrix(view, parse_pattern("[a.b]"))
+    assert (matrix.data != 0).all()
+    assert matrix.nnz == np.count_nonzero(matrix.diagonal())
+
+
+def test_nested_diagonal_empty_support(tiny_db):
+    # No c-then-a path exists in tiny_db: support is empty and the
+    # diagonal must come back as an all-zero sparse matrix, not crash.
+    view = MatrixView(tiny_db)
+    matrix = rpq_boolean_matrix(view, parse_pattern("[c.a]"))
+    assert matrix.nnz == 0
+    assert matrix.shape == (tiny_db.num_nodes(),) * 2
+
+
+def test_common_neighbors_rows_match_dense_reference(fig1):
+    algorithm = CommonNeighbors(fig1)
+    queries = ["DataMining", "Databases", "SoftwareEngineering"]
+    indices, counts = algorithm.score_rows(queries)
+    boolean = algorithm._boolean
+    expected = (boolean[indices, :] @ boolean).toarray()
+    assert counts.dtype == expected.dtype
+    assert np.array_equal(counts, expected)
+
+
+def test_hetesim_rows_match_dense_reference(fig1):
+    algorithm = HeteSim(fig1, "r-a-.p-in")
+    queries = ["DataMining", "Databases", "SoftwareEngineering"]
+    indices, scores = algorithm.score_rows(queries)
+    # The pre-fix formulation, recomputed from the same halves.
+    left_rows = algorithm._left[indices, :].tocsr()
+    squared = left_rows.multiply(left_rows).sum(axis=1)
+    source_norms = np.sqrt(np.asarray(squared).ravel())
+    products = (left_rows @ algorithm._right.T).toarray()
+    target_norms = algorithm._norms_of_right()
+    denominator = source_norms[:, None] * target_norms[None, :]
+    expected = np.zeros_like(products)
+    defined = denominator > 0
+    expected[defined] = products[defined] / denominator[defined]
+    assert np.array_equal(scores, expected)
+
+
+def _dense_simrank_reference(
+    adjacency, damping=0.8, iterations=10, tolerance=1e-6
+):
+    """The pre-fix SimRank loop over a densified transition matrix."""
+    n = adjacency.shape[0]
+    transition = column_normalize(adjacency).toarray()
+    scores = np.identity(n)
+    for _ in range(iterations):
+        updated = damping * (transition.T @ scores @ transition)
+        np.fill_diagonal(updated, 1.0)
+        delta = np.abs(updated - scores).max()
+        scores = updated
+        if delta < tolerance:
+            break
+    np.maximum(scores, np.identity(n), out=scores)
+    return scores
+
+
+def test_simrank_matches_dense_iteration(fig1):
+    view = MatrixView(fig1)
+    adjacency = view.combined_adjacency(symmetric=True)
+    sparse_scores = simrank_matrix(adjacency)
+    dense_scores = _dense_simrank_reference(adjacency)
+    # Sparse and dense matmuls associate differently, so exact bitwise
+    # equality is not achievable here — but 1e-12 is orders of magnitude
+    # below any score gap that could reorder a ranking on this graph.
+    assert np.allclose(sparse_scores, dense_scores, rtol=0, atol=1e-12)
+    assert np.array_equal(np.diag(sparse_scores), np.ones(adjacency.shape[0]))
+    # Ranking parity: identical candidate order for every query row once
+    # scores are quantized past the ulp jitter.
+    order_sparse = np.argsort(-sparse_scores.round(9), axis=1, kind="stable")
+    order_dense = np.argsort(-dense_scores.round(9), axis=1, kind="stable")
+    assert np.array_equal(order_sparse, order_dense)

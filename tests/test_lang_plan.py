@@ -254,7 +254,7 @@ def test_relsim_respects_small_cache_cap(fig1):
     # evicted before use); results stay identical to the uncapped path.
     from repro.api import SimilaritySession
 
-    patterns = ["p-in.p-in-", "p-in.p-in", "p-in-.p-in", "p-in.p-in-.p-in.p-in-"]
+    patterns = ["p-in.p-in-", "p-in-.r-a", "p-in-.p-in", "p-in.p-in-.p-in.p-in-"]
     capped = SimilaritySession(fig1, max_cached_matrices=2)
     uncapped = SimilaritySession(fig1)
     queries = ["DataMining", "Databases"]

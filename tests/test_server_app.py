@@ -224,6 +224,23 @@ def test_explain_prepared_and_ad_hoc(serving):
     )
 
 
+def test_ill_typed_pattern_maps_to_400_with_diagnostics(serving):
+    # The compile-time type checker fires behind the HTTP surface; the
+    # client gets a structured 400, not an empty ranking or a 500.
+    _, _, address = serving
+    status, payload, _ = _call(
+        address, "POST", "/explain", {"patterns": ["r-a.r-a"]}
+    )
+    assert status == 400
+    assert payload["kind"] == "PatternTypeError"
+    diagnostic = payload["diagnostics"][0]
+    assert diagnostic["severity"] == "error"
+    assert diagnostic["code"] == "endpoint-mismatch"
+    assert diagnostic["span"] == [4, 7]
+    assert diagnostic["pattern"] == "r-a.r-a"
+    assert "r-a.r-a" in payload["error"]
+
+
 def test_healthz_ok_then_degraded_then_cleared(serving):
     service, _, address = serving
     status, health, _ = _call(address, "GET", "/healthz")
