@@ -75,6 +75,14 @@ class ReproServer:
         Bound on concurrently handled requests; excess gets 503.
     threads:
         Worker threads for similarity execution.
+    workers:
+        Process workers (default 0 = execute in-process on ``threads``).
+        With ``N > 0`` the server publishes each snapshot into shared
+        memory and dispatches ``/query``/``/rank_many`` to a
+        :class:`~repro.server.workers.WorkerPool` of ``N`` spawned
+        interpreters — GIL-free parallelism with bitwise-identical
+        results.  Live updates still go through the service in this
+        process; every publication migrates the workers atomically.
     snapshot_path:
         When set, the service checkpoints to this file after every
         successful apply/swap (atomic replace).
@@ -91,11 +99,16 @@ class ReproServer:
         max_batch=64,
         max_inflight=64,
         threads=4,
+        workers=0,
         snapshot_path=None,
     ):
         if max_inflight < 1:
             raise ConfigurationError(
                 "max_inflight must be >= 1, got {}".format(max_inflight)
+            )
+        if workers < 0:
+            raise ConfigurationError(
+                "workers must be >= 0, got {}".format(workers)
             )
         self.service = service
         self.prepared = prepared
@@ -106,8 +119,15 @@ class ReproServer:
         self._coalesce_window = coalesce_window
         self._max_batch = max_batch
         self._max_inflight = max_inflight
+        self._workers = workers
+        self._pool = None
+        self._unregister_publish = None
         self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=threads, thread_name_prefix="repro-serve"
+            # Every blocked pool dispatch occupies a thread, so the
+            # executor must never have fewer threads than workers or
+            # the pool idles behind the thread pool it feeds.
+            max_workers=max(threads, workers),
+            thread_name_prefix="repro-serve",
         )
         self._batcher = None  # built on the serving loop
         self._loop = None
@@ -142,9 +162,24 @@ class ReproServer:
         """
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
+        if self._workers and self._pool is None:
+            # Boot the process pool before accepting connections: spawn
+            # + zero-copy attach happen once, off the serving path, and
+            # a pool that cannot boot fails startup loudly.
+            from repro.server.workers import WorkerPool
+
+            self._pool = WorkerPool(
+                self.prepared.export_spec(),
+                self.service.session,
+                version=self.service.version,
+                workers=self._workers,
+            )
+            self._unregister_publish = self.service.on_publish(
+                self._pool.publish
+            )
         if self._coalesce:
             self._batcher = CoalescingBatcher(
-                self.prepared,
+                self._query_target,
                 window=self._coalesce_window,
                 max_batch=self._max_batch,
                 executor=self._executor,
@@ -169,7 +204,16 @@ class ReproServer:
                 await asyncio.gather(
                     *self._connections, return_exceptions=True
                 )
+            # Drain order matters: the executor finishes in-flight
+            # dispatches (which may be blocked on worker answers), and
+            # only then do the workers stop and their segments unlink.
             self._executor.shutdown(wait=True)
+            if self._unregister_publish is not None:
+                self._unregister_publish()
+                self._unregister_publish = None
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
 
     def serve_forever(self):
         """Run the server on a fresh loop until SIGTERM/SIGINT.
@@ -356,6 +400,11 @@ class ReproServer:
             self._executor, partial(func, *args, **kwargs)
         )
 
+    @property
+    def _query_target(self):
+        """Who executes ``/query``/``/rank_many``: the pool, else in-process."""
+        return self._pool if self._pool is not None else self.prepared
+
     def _requested_top_k(self, payload):
         # Three-valued: absent -> the prepared default; present and
         # null -> explicitly the full ranking; present -> that cutoff.
@@ -369,10 +418,10 @@ class ReproServer:
         if self._batcher is not None:
             ranking = await self._batcher.submit(node, top_k)
         elif top_k is PREPARED_DEFAULT:
-            ranking = await self._run_blocking(self.prepared.run, node)
+            ranking = await self._run_blocking(self._query_target.run, node)
         else:
             ranking = await self._run_blocking(
-                self.prepared.run, node, top_k=top_k
+                self._query_target.run, node, top_k=top_k
             )
         return {
             "node": node,
@@ -386,10 +435,12 @@ class ReproServer:
             raise HttpError(400, "field 'nodes' must not be empty")
         top_k = self._requested_top_k(payload)
         if top_k is PREPARED_DEFAULT:
-            rankings = await self._run_blocking(self.prepared.run_many, nodes)
+            rankings = await self._run_blocking(
+                self._query_target.run_many, nodes
+            )
         else:
             rankings = await self._run_blocking(
-                self.prepared.run_many, nodes, top_k=top_k
+                self._query_target.run_many, nodes, top_k=top_k
             )
         return {
             "version": self.service.version,
@@ -462,6 +513,15 @@ class ReproServer:
             stats["queued"] = self._batcher.queued
             stats["coalesce_window"] = self._coalesce_window
             stats["batcher"] = self._batcher.stats()
+        if self._pool is not None:
+            workers = self._pool.stats()
+            stats["workers"] = {
+                "count": len(workers),
+                "published_version": self._pool.version,
+                "completed": sum(entry["completed"] for entry in workers),
+                "pending": sum(entry["pending"] for entry in workers),
+                "per_worker": workers,
+            }
         return stats
 
 

@@ -1,0 +1,337 @@
+"""Shared-memory snapshot publication: one segment, N zero-copy readers.
+
+The GIL makes thread-parallel serving a wash (the ``serving_concurrent``
+benchmark measured 8 threads at 0.83x a single thread), so the process
+worker pool (:mod:`repro.server.workers`) moves execution into separate
+interpreters.  What makes that cheap is this module: the parent
+publishes each engine snapshot's immutable numeric state — adjacency
+CSR buffers, cached plan-DAG product buffers, diagonals, column norms,
+in the same pooled-array layout :mod:`repro.server.snapshot` writes to
+``.npz`` — into one ``multiprocessing.shared_memory`` segment, and each
+worker maps the segment and reconstructs every matrix as a
+``memoryview``-backed ndarray.  Nothing numeric is ever pickled or
+copied: a worker's "load" is an mmap plus slicing.
+
+Publication protocol (the service's atomic version/swap, extended
+cross-process):
+
+* the parent is the **sole writer**: a segment is fully written before
+  its manifest (a plain dict carrying the layout) is handed to anyone,
+  and never written again — readers cannot observe a torn state;
+* each ``apply``/``swap`` publishes a *new* segment under the next
+  version; workers adopt it at a request boundary and confirm; only
+  after every worker confirms does the parent unlink the old segment;
+* every segment this process creates is tracked by the
+  :class:`SegmentRegistry`, whose atexit/SIGTERM reaper unlinks
+  leftovers on any exit path — no leaked ``/dev/shm`` entries even on
+  a crash-shutdown.  (``tools/lint_repro.py``'s ``shm-lifecycle`` rule
+  keeps the registry the only ``SharedMemory(create=True)`` site.)
+
+Attach-side footnote: before Python 3.13 there is no ``track=False``,
+so merely *attaching* a segment registers it with the worker's
+``resource_tracker`` — which would unlink the parent's live segment
+when the worker exits.  :func:`attach_segment` immediately unregisters
+the attachment, restoring "creator owns the lifetime" semantics.
+"""
+
+import atexit
+import gc
+import os
+import signal
+import threading
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from repro.api.session import SimilaritySession
+from repro.exceptions import SnapshotError
+from repro.graph.io import database_from_json, database_to_json
+from repro.server.snapshot import (
+    PoolReader,
+    pool_matrices,
+    pool_vectors,
+    unpool_matrices,
+    unpool_vectors,
+)
+
+#: Manifest format version; readers refuse manifests they do not know.
+SHM_FORMAT = 1
+
+#: Buffer offsets inside a segment are aligned to this many bytes, so
+#: every reconstructed ndarray is alignment-safe for its dtype (and
+#: cache-line friendly).
+_ALIGN = 64
+
+
+def _aligned(offset):
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SegmentRegistry:
+    """Every shared-memory segment this process created, with a reaper.
+
+    The single chokepoint for segment lifetime: :meth:`create` is the
+    repo's only allowed ``SharedMemory(create=True)`` call site (the
+    ``shm-lifecycle`` lint rule enforces it), so a segment cannot exist
+    without being registered for cleanup.  ``atexit`` unlinks whatever
+    is still registered; a SIGTERM reaper is installed too when no
+    other handler claimed the signal (``repro serve`` installs its own
+    graceful handler first, which drains and unlinks explicitly).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._segments = {}
+        self._installed = False
+
+    def create(self, size):
+        """A new registered segment of ``size`` bytes (kernel-named)."""
+        segment = shared_memory.SharedMemory(create=True, size=max(size, 1))
+        with self._lock:
+            self._segments[segment.name] = segment
+            self._install_reaper_locked()
+        return segment
+
+    def names(self):
+        """Names of the segments currently registered (for tests/stats)."""
+        with self._lock:
+            return sorted(self._segments)
+
+    def owns(self, name):
+        """Whether this registry created (and still tracks) ``name``."""
+        with self._lock:
+            return name in self._segments
+
+    def unlink(self, name):
+        """Close and unlink one segment; silently ignores unknown names."""
+        with self._lock:
+            segment = self._segments.pop(name, None)
+        if segment is None:
+            return False
+        for release in (segment.close, segment.unlink):
+            try:
+                release()
+            except (BufferError, FileNotFoundError, OSError):
+                pass
+        return True
+
+    def unlink_all(self):
+        """Unlink every registered segment (the reaper's whole job)."""
+        for name in self.names():
+            self.unlink(name)
+
+    def _install_reaper_locked(self):
+        if self._installed:
+            return
+        self._installed = True
+        atexit.register(self.unlink_all)
+        # Claim SIGTERM only when nobody else has: a plain `kill` must
+        # not leak /dev/shm entries, but an application handler (the
+        # serve loop's graceful drain) owns shutdown when present.
+        try:
+            if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+                signal.signal(signal.SIGTERM, self._reap_signal)
+        except (ValueError, OSError):
+            pass  # not the main thread, or no signal support
+
+    def _reap_signal(self, signum, frame):
+        self.unlink_all()
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+#: The process-wide registry every publisher goes through.
+REGISTRY = SegmentRegistry()
+
+
+def attach_segment(name, untrack=True):
+    """Attach an existing segment *without* adopting its lifetime.
+
+    With ``untrack`` (the default) this undoes the attach-side
+    ``resource_tracker`` registration (see the module docstring): the
+    creating process owns unlinking, and a foreign reader exiting must
+    never tear a segment out from under its siblings.  Pool workers
+    pass ``untrack=False``: spawn children *share* the parent's tracker
+    process, whose per-name cache is a set — a worker's unregister
+    would annihilate the parent's own registration and turn the
+    eventual ``unlink()`` into a tracker underflow.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as error:
+        raise SnapshotError(
+            "shared-memory segment {!r} is gone (publisher exited or "
+            "already unlinked it)".format(name)
+        ) from error
+    # Same-process attach (tests, the in-process serving path) likewise
+    # keeps the creator's one registration.
+    if untrack and not REGISTRY.owns(name):
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(
+                getattr(segment, "_name", "/" + name), "shared_memory"
+            )
+        except Exception:
+            pass  # tracker internals moved; worst case is a spurious warning
+    return segment
+
+
+def publish_session(session, version, registry=None):
+    """Write ``session``'s engine state into a fresh segment.
+
+    Returns the manifest dict a reader needs for :func:`attach_session`:
+    segment name, pooled-buffer layout (dtype/count/offset per pool),
+    the database JSON's extent, and the same per-entry manifests the
+    ``.npz`` snapshot stores — plus ``version`` so workers can report
+    which snapshot they serve.  The segment is complete before this
+    function returns; handing the manifest to a reader is what
+    publishes it.
+    """
+    registry = REGISTRY if registry is None else registry
+    state = session.engine.export_shm()
+    database_bytes = database_to_json(session.database).encode("utf-8")
+    pools = {}
+    adjacency = pool_matrices(pools, "a", state["adjacency"])
+    matrices = pool_matrices(pools, "m", state["matrices"])
+    column_norms = pool_vectors(pools, "norm", state["column_norms"])
+    diagonals = pool_vectors(pools, "diag", state["diagonals"])
+    arrays = {
+        key: np.concatenate(buffers) if len(buffers) > 1 else buffers[0]
+        for key, buffers in pools.items()
+    }
+
+    layout = {}
+    offset = 0
+    for key in sorted(arrays):
+        offset = _aligned(offset)
+        array = arrays[key]
+        layout[key] = {
+            "dtype": str(array.dtype),
+            "count": int(len(array)),
+            "offset": offset,
+        }
+        offset += array.nbytes
+    offset = _aligned(offset)
+    database_offset = offset
+    offset += len(database_bytes)
+
+    segment = registry.create(offset)
+    for key, entry in layout.items():
+        destination = np.frombuffer(
+            segment.buf,
+            dtype=entry["dtype"],
+            count=entry["count"],
+            offset=entry["offset"],
+        )
+        destination[:] = arrays[key]
+    end = database_offset + len(database_bytes)
+    segment.buf[database_offset:end] = database_bytes
+
+    return {
+        "format": SHM_FORMAT,
+        "segment": segment.name,
+        "version": version,
+        "num_nodes": state["num_nodes"],
+        "database": {"offset": database_offset, "length": len(database_bytes)},
+        "pools": layout,
+        "adjacency": adjacency,
+        "matrices": matrices,
+        "column_norms": column_norms,
+        "diagonals": diagonals,
+    }
+
+
+class AttachedSession:
+    """A session whose engine state lives in someone else's segment.
+
+    Holds the :class:`SharedMemory` mapping alive for as long as the
+    session's matrices are in use (a numpy view does not keep the
+    mapping open by itself).  :meth:`close` drops the session and
+    unmaps; it never unlinks — lifetime belongs to the publisher.
+    """
+
+    def __init__(self, session, segment, version, loaded):
+        self.session = session
+        self.version = version
+        self.loaded = loaded
+        self._segment = segment
+
+    def close(self):
+        """Drop the session and unmap the segment (best effort).
+
+        CPython refuses to unmap while any exported buffer is alive
+        (``BufferError``); after dropping our references and collecting,
+        a still-pinned mapping (e.g. a caller kept a ranking around) is
+        simply left for process exit — harmless, it is just an mmap.
+        """
+        self.session = None
+        self.loaded = None
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        gc.collect()
+        try:
+            segment.close()
+        except BufferError:
+            # Some caller still pins a view into the mapping; leave the
+            # mmap to process exit and stop __del__ from retrying (the
+            # retry would just re-raise into an "ignored exception").
+            segment._buf = None
+            segment._mmap = None
+
+
+def attach_session(manifest, untrack=True, **session_options):
+    """Rebuild a read-only serving session over a published segment.
+
+    The cross-process sibling of :func:`repro.server.snapshot.load_session`:
+    the database is parsed from the segment's JSON extent, and every
+    matrix/vector is reconstructed as a read-only view over the mapped
+    buffer — zero copies, no pickling.  ``untrack`` forwards to
+    :func:`attach_segment`.  Returns an :class:`AttachedSession`.
+    """
+    if not isinstance(manifest, dict) or manifest.get("format") != SHM_FORMAT:
+        raise SnapshotError(
+            "unsupported shared-memory manifest (format {!r}; this build "
+            "reads format {})".format(
+                manifest.get("format") if isinstance(manifest, dict) else None,
+                SHM_FORMAT,
+            )
+        )
+    segment = attach_segment(manifest["segment"], untrack=untrack)
+    try:
+        arrays = {}
+        for key, entry in manifest["pools"].items():
+            view = np.frombuffer(
+                segment.buf,
+                dtype=entry["dtype"],
+                count=entry["count"],
+                offset=entry["offset"],
+            )
+            view.flags.writeable = False
+            arrays[key] = view
+        extent = manifest["database"]
+        start, end = extent["offset"], extent["offset"] + extent["length"]
+        database = database_from_json(bytes(segment.buf[start:end]).decode("utf-8"))
+        session = SimilaritySession(database, **session_options)
+        n = session.view.num_nodes()
+        reader = PoolReader(arrays)
+        state = {
+            "adjacency": unpool_matrices(reader, manifest["adjacency"], "a", n),
+            "matrices": unpool_matrices(reader, manifest["matrices"], "m", n),
+            "column_norms": unpool_vectors(
+                reader, manifest["column_norms"], "norm"
+            ),
+            "diagonals": unpool_vectors(reader, manifest["diagonals"], "diag"),
+        }
+        loaded = session.engine.attach_shm(state)
+    except (KeyError, TypeError, ValueError) as error:
+        try:
+            segment.close()
+        except BufferError:
+            segment._buf = None
+            segment._mmap = None
+        raise SnapshotError(
+            "corrupt shared-memory manifest/segment ({})".format(error)
+        ) from error
+    return AttachedSession(session, segment, manifest["version"], loaded)

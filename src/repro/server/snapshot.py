@@ -25,7 +25,11 @@ buffers of one kind are concatenated into a single pooled array per
 dtype (``mdata_float64``, ``midx_int32``, ...), with per-entry lengths
 in the manifest; loading slices views back out of a handful of big
 reads.  Pools are segregated by dtype, never cast, so the restored
-buffers are bit-for-bit the saved ones.
+buffers are bit-for-bit the saved ones.  The pooling helpers
+(:func:`pool_matrices` / :func:`pool_vectors` / :class:`PoolReader` /
+:func:`unpool_matrices` / :func:`unpool_vectors`) are shared with
+:mod:`repro.server.shm`, which publishes the same layout into
+shared-memory segments for zero-copy process workers.
 
 Writes are atomic (temp file + ``os.replace``): the serving layer
 checkpoints after every successful ``apply``/``swap``, and a crash
@@ -55,6 +59,99 @@ SNAPSHOT_FORMAT = 1
 _MAGIC = "repro-serving-snapshot"
 
 
+# ----------------------------------------------------------------------
+# Pooled-array layout (shared with repro.server.shm)
+# ----------------------------------------------------------------------
+def pool_matrices(pools, prefix, entries):
+    """Append each CSR's buffers to the dtype-segregated pools.
+
+    ``entries`` is ``[(key, csr_matrix)]``; buffers land in
+    ``pools["{prefix}data_{dtype}"]`` / ``...idx...`` / ``...ptr...``
+    lists (concatenate each list to get the stored pool array).
+    Returns the manifest entry list: per matrix, its key plus the
+    dtype of each buffer and the nnz needed to slice it back out.
+    """
+    manifest = []
+    for key, matrix in entries:
+        manifest.append(
+            {
+                "p": key,
+                "data": _pool(pools, prefix + "data", matrix.data),
+                "idx": _pool(pools, prefix + "idx", matrix.indices),
+                "ptr": _pool(pools, prefix + "ptr", matrix.indptr),
+                "nnz": int(matrix.nnz),
+            }
+        )
+    return manifest
+
+
+def pool_vectors(pools, prefix, entries):
+    """Append each dense vector to its dtype pool; returns manifest entries."""
+    return [
+        {"p": key, "dtype": _pool(pools, prefix, vector), "len": len(vector)}
+        for key, vector in entries
+    ]
+
+
+def _pool(pools, prefix, buffer):
+    key = "{}_{}".format(prefix, buffer.dtype)
+    pools.setdefault(key, []).append(buffer)
+    return str(buffer.dtype)
+
+
+class PoolReader:
+    """Sequentially slice per-entry buffers back out of pooled arrays.
+
+    ``arrays`` is any mapping from pool key (``mdata_float64``, ...) to
+    a 1-D ndarray — an ``np.load`` archive or a dict of shared-memory
+    views.  Entries must be taken in the order they were pooled; a
+    short pool raises ``ValueError`` (callers map it to their own
+    corruption error).
+    """
+
+    def __init__(self, arrays):
+        self._arrays = arrays
+        self._pools = {}
+        self._offsets = {}
+
+    def take(self, prefix, dtype, count):
+        key = "{}_{}".format(prefix, dtype)
+        if key not in self._pools:
+            self._pools[key] = self._arrays[key]
+            self._offsets[key] = 0
+        start = self._offsets[key]
+        self._offsets[key] = start + count
+        chunk = self._pools[key][start : start + count]
+        if len(chunk) != count:
+            # repro-lint: ok(exception-taxonomy) internal control flow; callers convert it to SnapshotError/ShmError
+            raise ValueError("pool {} exhausted at {}".format(key, start))
+        return chunk
+
+
+def unpool_matrices(reader, manifest_entries, prefix, n):
+    """``[(key, csr)]`` rebuilt from pooled buffers without validation."""
+    return [
+        (
+            entry["p"],
+            CommutingMatrixEngine._fast_csr(
+                reader.take(prefix + "data", entry["data"], entry["nnz"]),
+                reader.take(prefix + "idx", entry["idx"], entry["nnz"]),
+                reader.take(prefix + "ptr", entry["ptr"], n + 1),
+                n,
+            ),
+        )
+        for entry in manifest_entries
+    ]
+
+
+def unpool_vectors(reader, manifest_entries, prefix):
+    """``[(key, vector)]`` sliced back out of the pooled arrays."""
+    return [
+        (entry["p"], reader.take(prefix, entry["dtype"], entry["len"]))
+        for entry in manifest_entries
+    ]
+
+
 def _session_of(source):
     if isinstance(source, SimilarityService):
         return source.session, source.version
@@ -81,33 +178,10 @@ def save_snapshot(path, source):
     state = session.engine.export_cache()
     database = session.database
     pools = {}
-
-    def pool(prefix, buffer):
-        key = "{}_{}".format(prefix, buffer.dtype)
-        pools.setdefault(key, []).append(buffer)
-        return str(buffer.dtype)
-
-    matrices = []
-    nnz = 0
-    for text, matrix in state["matrices"]:
-        matrices.append(
-            {
-                "p": text,
-                "data": pool("mdata", matrix.data),
-                "idx": pool("midx", matrix.indices),
-                "ptr": pool("mptr", matrix.indptr),
-                "nnz": int(matrix.nnz),
-            }
-        )
-        nnz += matrix.nnz
-    column_norms = [
-        {"p": text, "dtype": pool("norm", vector), "len": len(vector)}
-        for text, vector in state["column_norms"]
-    ]
-    diagonals = [
-        {"p": text, "dtype": pool("diag", vector), "len": len(vector)}
-        for text, vector in state["diagonals"]
-    ]
+    matrices = pool_matrices(pools, "m", state["matrices"])
+    nnz = sum(entry["nnz"] for entry in matrices)
+    column_norms = pool_vectors(pools, "norm", state["column_norms"])
+    diagonals = pool_vectors(pools, "diag", state["diagonals"])
     manifest = {
         "magic": _MAGIC,
         "format": SNAPSHOT_FORMAT,
@@ -196,44 +270,12 @@ def load_session(path, **session_options):
             database = database_from_json(str(archive["database"]))
             session = SimilaritySession(database, **session_options)
             n = session.view.num_nodes()
-            pools = {}
-            offsets = {}
-
-            def take(prefix, dtype, count):
-                key = "{}_{}".format(prefix, dtype)
-                if key not in pools:
-                    pools[key] = archive[key]
-                    offsets[key] = 0
-                start = offsets[key]
-                offsets[key] = start + count
-                chunk = pools[key][start : start + count]
-                if len(chunk) != count:
-                    # repro-lint: ok(exception-taxonomy) internal control flow; the except below converts it to SnapshotError
-                    raise ValueError(
-                        "pool {} exhausted at {}".format(key, start)
-                    )
-                return chunk
-
-            matrices = [
-                (
-                    entry["p"],
-                    CommutingMatrixEngine._fast_csr(
-                        take("mdata", entry["data"], entry["nnz"]),
-                        take("midx", entry["idx"], entry["nnz"]),
-                        take("mptr", entry["ptr"], n + 1),
-                        n,
-                    ),
-                )
-                for entry in manifest["matrices"]
-            ]
-            column_norms = [
-                (entry["p"], take("norm", entry["dtype"], entry["len"]))
-                for entry in manifest["column_norms"]
-            ]
-            diagonals = [
-                (entry["p"], take("diag", entry["dtype"], entry["len"]))
-                for entry in manifest["diagonals"]
-            ]
+            reader = PoolReader(archive)
+            matrices = unpool_matrices(reader, manifest["matrices"], "m", n)
+            column_norms = unpool_vectors(
+                reader, manifest["column_norms"], "norm"
+            )
+            diagonals = unpool_vectors(reader, manifest["diagonals"], "diag")
         except (KeyError, TypeError, ValueError) as error:
             raise SnapshotError(
                 "{}: corrupt snapshot payload ({})".format(path, error)

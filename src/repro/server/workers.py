@@ -1,0 +1,505 @@
+"""Process worker pool: GIL-free execution over shared-memory snapshots.
+
+Thread-parallel serving tops out below 1x (the engine releases the GIL
+only inside BLAS-free SciPy kernels, and the ranking/dispatch layers
+never do), so the pool runs ``N`` *interpreters*: each worker process
+attaches the parent's published shared-memory segment
+(:mod:`repro.server.shm`), rebuilds the serving session zero-copy, and
+executes ``run``/``run_many`` against its private GIL.
+
+The pool duck-types :class:`~repro.api.prepared.PreparedQuery` —
+``run(node, top_k=...)`` returning a :class:`Ranking` and
+``run_many(nodes, top_k=...)`` returning ``{node: Ranking}`` — so it
+drops behind the server's :class:`CoalescingBatcher` (or any caller of
+a prepared handle) unchanged.  Rankings cross the pipe as their
+``(node, score)`` item lists; re-wrapping re-applies the same
+deterministic ``(-score, str(node))`` order, so worker answers are
+bitwise-identical to in-process ones (the shm parity suite gates this).
+
+Version migration keeps the service's atomic-swap semantics:
+
+* :meth:`WorkerPool.publish` (wired to ``SimilarityService.on_publish``)
+  writes the *new* segment, then sends every worker an in-band
+  ``adopt`` message.  The request pipe is FIFO, so a worker switches
+  snapshots exactly at a request boundary — no torn reads, ever;
+* each worker confirms adoption; only when **all** confirmations are in
+  does the parent unlink the old segment.  A failed or missed
+  confirmation leaves both segments registered with the
+  :class:`~repro.server.shm.SegmentRegistry`, whose atexit/SIGTERM
+  reaper guarantees nothing outlives the process either way.
+
+Workers are ``spawn``-context daemons: no forked locks from a threaded
+parent, and a dying parent takes its workers with it.
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+from concurrent.futures import Future
+
+from repro.exceptions import ConfigurationError, WorkerError
+from repro.server.batching import PREPARED_DEFAULT
+from repro.server.shm import REGISTRY, attach_session, publish_session
+from repro.similarity.base import Ranking
+
+#: How long ``__init__`` waits for every worker's ready message.  Spawn
+#: pays a full interpreter + numpy/scipy import per worker; generous
+#: beats flaky.
+START_TIMEOUT = 120.0
+
+#: How long :meth:`WorkerPool.publish` waits for each adoption
+#: confirmation before declaring the worker lost.
+ADOPT_TIMEOUT = 60.0
+
+_DEFAULT = "__prepared_default__"
+
+
+def _encode_top_k(top_k):
+    return _DEFAULT if top_k is PREPARED_DEFAULT else top_k
+
+
+def _decode_top_k(encoded):
+    return {} if encoded == _DEFAULT else {"top_k": encoded}
+
+
+def _portable_error(error):
+    """``error`` if it survives a pickle round-trip, else a WorkerError.
+
+    Keeping the original type matters: the HTTP layer maps library
+    exception types to statuses, and that mapping must not change just
+    because execution moved to a worker process.
+    """
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return WorkerError(
+            "{}: {}".format(type(error).__name__, error)
+        )
+
+
+def _worker_main(index, conn, spec, manifest):
+    """One worker process: attach, prepare, answer until told to stop."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent owns Ctrl-C
+    from repro.api.prepared import PreparedQuery
+
+    try:
+        # untrack=False: a spawn child shares the parent's resource
+        # tracker, so the parent's registration must stay intact.
+        attached = attach_session(manifest, untrack=False)
+        prepared = PreparedQuery.from_spec(attached.session, spec)
+    except Exception as error:
+        conn.send(("boot-error", index, _portable_error(error)))
+        conn.close()
+        return
+    conn.send(("ready", attached.version, os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "adopt":
+            new_manifest = message[1]
+            try:
+                adopted = attach_session(new_manifest, untrack=False)
+                fresh = PreparedQuery.from_spec(adopted.session, spec)
+            except Exception as error:
+                conn.send(
+                    (
+                        "adopt-error",
+                        new_manifest.get("version"),
+                        _portable_error(error),
+                    )
+                )
+                continue
+            previous, attached, prepared = attached, adopted, fresh
+            previous.close()
+            conn.send(("adopted", attached.version))
+            continue
+        if kind == "run":
+            _, request_id, node, top_k = message
+            try:
+                ranking = prepared.run(node, **_decode_top_k(top_k))
+            except Exception as error:
+                conn.send(("error", request_id, _portable_error(error)))
+            else:
+                conn.send(("result", request_id, list(ranking.items())))
+            continue
+        if kind == "run_many":
+            _, request_id, nodes, top_k = message
+            try:
+                rankings = prepared.run_many(nodes, **_decode_top_k(top_k))
+            except Exception as error:
+                conn.send(("error", request_id, _portable_error(error)))
+            else:
+                conn.send(
+                    (
+                        "result",
+                        request_id,
+                        {
+                            node: list(ranking.items())
+                            for node, ranking in rankings.items()
+                        },
+                    )
+                )
+            continue
+        conn.send(
+            (
+                "error",
+                None,
+                WorkerError("unknown worker message {!r}".format(kind)),
+            )
+        )
+    # Unmap before interpreter teardown orders finalizers arbitrarily
+    # (a segment __del__ racing live matrix views raises BufferError).
+    prepared = None
+    attached.close()
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, pending futures, counters."""
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.pending = {}
+        self.pending_lock = threading.Lock()
+        self.ready = Future()
+        self.adoptions = {}
+        self.version = None
+        self.completed = 0
+        self.next_request = 0
+        self.alive = True
+
+    def submit(self, kind, *payload):
+        """Send one request; returns the Future its answer resolves."""
+        future = Future()
+        with self.pending_lock:
+            request_id = self.next_request
+            self.next_request += 1
+            self.pending[request_id] = future
+        try:
+            with self.send_lock:
+                self.conn.send((kind, request_id) + payload)
+        except (OSError, ValueError) as error:
+            with self.pending_lock:
+                self.pending.pop(request_id, None)
+            self.alive = False
+            raise WorkerError(
+                "worker {} is gone ({})".format(self.index, error)
+            ) from error
+        return future
+
+    def pending_count(self):
+        with self.pending_lock:
+            return len(self.pending)
+
+    def fail_pending(self, error):
+        with self.pending_lock:
+            futures = list(self.pending.values())
+            self.pending.clear()
+        for future in futures:
+            if not future.done():
+                future.set_exception(error)
+        if not self.ready.done():
+            self.ready.set_exception(error)
+        for future in self.adoptions.values():
+            if not future.done():
+                future.set_exception(error)
+
+
+class WorkerPool:
+    """``N`` spawn-context processes serving one prepared query shape.
+
+    Parameters
+    ----------
+    spec:
+        A :meth:`PreparedQuery.export_spec` dict — the query shape every
+        worker rebuilds on its attached session.
+    session:
+        The serving session to publish as the initial shared-memory
+        snapshot (the parent keeps its own in-process copy).
+    version:
+        The service version of that session (reported by workers).
+    workers:
+        Process count (>= 1).
+    """
+
+    def __init__(
+        self, spec, session, version=1, workers=2,
+        start_timeout=START_TIMEOUT,
+    ):
+        if workers < 1:
+            raise ConfigurationError(
+                "workers must be >= 1, got {}".format(workers)
+            )
+        self._spec = dict(spec)
+        self._manifest = publish_session(session, version)
+        self._segments = {self._manifest["segment"]}
+        self._version = version
+        self._closed = False
+        self._lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+        self._rotation = 0
+        self._workers = []
+        context = multiprocessing.get_context("spawn")
+        try:
+            for index in range(workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(index, child_conn, self._spec, self._manifest),
+                    name="repro-worker-{}".format(index),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                worker = _Worker(index, process, parent_conn)
+                threading.Thread(
+                    target=self._read_responses,
+                    args=(worker,),
+                    name="repro-worker-reader-{}".format(index),
+                    daemon=True,
+                ).start()
+                self._workers.append(worker)
+            for worker in self._workers:
+                ready_version = worker.ready.result(timeout=start_timeout)
+                worker.version = ready_version
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Parent-side response demultiplexing
+    # ------------------------------------------------------------------
+    def _read_responses(self, worker):
+        while True:
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "result":
+                _, request_id, payload = message
+                with worker.pending_lock:
+                    future = worker.pending.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+                worker.completed += 1
+            elif kind == "error":
+                _, request_id, error = message
+                with worker.pending_lock:
+                    future = worker.pending.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_exception(error)
+            elif kind == "ready":
+                _, version, _pid = message
+                worker.version = version
+                if not worker.ready.done():
+                    worker.ready.set_result(version)
+            elif kind == "adopted":
+                _, version = message
+                worker.version = version
+                future = worker.adoptions.get(version)
+                if future is not None and not future.done():
+                    future.set_result(version)
+            elif kind == "adopt-error":
+                _, version, error = message
+                future = worker.adoptions.get(version)
+                if future is not None and not future.done():
+                    future.set_exception(error)
+            elif kind == "boot-error":
+                _, _index, error = message
+                if not worker.ready.done():
+                    worker.ready.set_exception(error)
+        worker.alive = False
+        worker.fail_pending(
+            WorkerError(
+                "worker {} exited with {} request(s) in flight".format(
+                    worker.index, worker.pending_count()
+                )
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch (the PreparedQuery duck type)
+    # ------------------------------------------------------------------
+    def _alive_workers(self):
+        workers = [
+            worker
+            for worker in self._workers
+            if worker.alive and worker.process.is_alive()
+        ]
+        if not workers:
+            raise WorkerError(
+                "no live workers (pool {})".format(
+                    "closed" if self._closed else "crashed"
+                )
+            )
+        return workers
+
+    def _pick(self):
+        with self._lock:
+            workers = self._alive_workers()
+            self._rotation += 1
+            rotation = self._rotation
+        return min(
+            workers,
+            key=lambda worker: (
+                worker.pending_count(),
+                (worker.index - rotation) % len(self._workers),
+            ),
+        )
+
+    def run(self, node, top_k=PREPARED_DEFAULT):
+        """The :class:`Ranking` for ``node``, computed by one worker."""
+        future = self._pick().submit("run", node, _encode_top_k(top_k))
+        return Ranking(future.result())
+
+    def run_many(self, nodes, top_k=PREPARED_DEFAULT):
+        """``{node: Ranking}``, the batch sharded across live workers.
+
+        Each worker scores its shard with one sparse row slice per
+        pattern (the array-native batch path), so a coalesced batch
+        parallelizes across cores instead of serializing behind one
+        interpreter's GIL.
+        """
+        nodes = list(nodes)
+        if not nodes:
+            return {}
+        workers = self._alive_workers()
+        encoded = _encode_top_k(top_k)
+        shards = [
+            (worker, nodes[index :: len(workers)])
+            for index, worker in enumerate(workers)
+            if nodes[index :: len(workers)]
+        ]
+        futures = [
+            worker.submit("run_many", shard, encoded)
+            for worker, shard in shards
+        ]
+        rankings = {}
+        for future in futures:
+            for node, items in future.result().items():
+                rankings[node] = Ranking(items)
+        return rankings
+
+    # ------------------------------------------------------------------
+    # Version migration
+    # ------------------------------------------------------------------
+    @property
+    def version(self):
+        """The snapshot version the pool most recently published."""
+        return self._version
+
+    def publish(self, session, version):
+        """Publish ``session`` as a new segment and migrate every worker.
+
+        Wire this to :meth:`SimilarityService.on_publish`.  The old
+        segment is unlinked only after **all** workers confirm adoption;
+        on any failure both segments stay registered for the reaper and
+        the error propagates (the service records it as a publish-hook
+        failure without un-publishing its own swap).
+        """
+        with self._publish_lock:
+            if self._closed:
+                return
+            manifest = publish_session(session, version)
+            self._segments.add(manifest["segment"])
+            confirmations = []
+            for worker in self._alive_workers():
+                worker.adoptions[version] = Future()
+                try:
+                    with worker.send_lock:
+                        worker.conn.send(("adopt", manifest))
+                except (OSError, ValueError):
+                    worker.alive = False
+                    continue
+                confirmations.append(worker)
+            failures = []
+            for worker in confirmations:
+                try:
+                    worker.adoptions[version].result(timeout=ADOPT_TIMEOUT)
+                except Exception as error:
+                    failures.append((worker.index, error))
+                finally:
+                    worker.adoptions.pop(version, None)
+            if failures:
+                raise WorkerError(
+                    "snapshot v{} adoption failed on worker(s) {}".format(
+                        version,
+                        ", ".join(
+                            "{} ({})".format(index, error)
+                            for index, error in failures
+                        ),
+                    )
+                )
+            previous = self._manifest["segment"]
+            self._manifest = manifest
+            self._version = version
+            self._segments.discard(previous)
+            REGISTRY.unlink(previous)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Per-worker counters for ``/statz``."""
+        return [
+            {
+                "worker": worker.index,
+                "pid": worker.process.pid,
+                "alive": worker.alive and worker.process.is_alive(),
+                "version": worker.version,
+                "pending": worker.pending_count(),
+                "completed": worker.completed,
+            }
+            for worker in self._workers
+        ]
+
+    def segments(self):
+        """Names of the segments this pool currently keeps published."""
+        return sorted(self._segments)
+
+    def shutdown(self, timeout=10.0):
+        """Stop every worker and unlink every segment (idempotent).
+
+        Pending requests drain first (the stop message queues behind
+        them in the FIFO pipe); a worker that still does not exit is
+        terminated.  Either way every segment this pool published is
+        unlinked before returning — the zero-leak guarantee the
+        lifecycle tests assert on ``/dev/shm``.
+        """
+        with self._publish_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers:
+            try:
+                with worker.send_lock:
+                    worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.alive = False
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.fail_pending(WorkerError("worker pool shut down"))
+        for name in list(self._segments):
+            REGISTRY.unlink(name)
+        self._segments.clear()

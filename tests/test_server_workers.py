@@ -1,0 +1,279 @@
+"""The process worker pool: parity, migration, errors, and lifecycle.
+
+Two layers of coverage for :mod:`repro.server.workers`:
+
+* **In-process driving a real spawn pool** — run/run_many answers are
+  bitwise-identical to the parent's prepared query, a live ``apply``
+  migrates every worker to the re-published segment (old segment
+  unlinked only afterwards), errors cross the pipe with their original
+  type, and ``shutdown`` leaves zero ``/dev/shm`` entries behind.
+* **Full subprocess lifecycle** — ``repro serve --workers 2`` as an
+  operator runs it: answers ``/query`` and ``/apply`` through the pool,
+  reports per-worker counters on ``/statz``, and a SIGTERM drain exits
+  0 without leaking a single shared-memory segment.  This is what the
+  CI ``workers-smoke`` job runs.
+
+Spawn pays an interpreter + numpy import per worker, so the in-process
+tests share one pool per module where the scenario allows it.
+"""
+
+import glob
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import http.client
+
+import pytest
+
+from repro.api.service import SimilarityService
+from repro.datasets import generate_dblp
+from repro.exceptions import ConfigurationError, UnknownNodeError, WorkerError
+from repro.server.workers import WorkerPool
+
+PATTERN = "r-a-.p-in.p-in-.r-a"
+ANNOUNCE = re.compile(r"serving repro on http://([\d.]+):(\d+)")
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _shm_entries():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture(scope="module")
+def stack():
+    database = generate_dblp(3, 6, 36, 20, seed=11).database
+    service = SimilarityService(database)
+    prepared = service.prepare(
+        algorithm="relsim",
+        pattern=PATTERN,
+        expand={"max_patterns": 8},
+        top_k=5,
+    )
+    return database, service, prepared
+
+
+def test_pool_rejects_zero_workers(stack):
+    _, service, prepared = stack
+    with pytest.raises(ConfigurationError):
+        WorkerPool(prepared.export_spec(), service.session, workers=0)
+
+
+def test_pool_parity_migration_errors_and_clean_shutdown(stack):
+    """One pool, the whole contract: the expensive end-to-end pass."""
+    database, service, prepared = stack
+    shm_before = _shm_entries()
+    queries = (
+        sorted(database.nodes_of_type("area"))[:3]
+        + sorted(database.nodes_of_type("proc"))[:3]
+    )
+
+    pool = WorkerPool(
+        prepared.export_spec(), service.session,
+        version=service.version, workers=2,
+    )
+    try:
+        # The published segment exists and is the pool's only one.
+        assert len(pool.segments()) == 1
+        assert _shm_entries() - shm_before
+
+        # run: bitwise-identical to the in-process prepared query.
+        for query in queries:
+            assert pool.run(query).items() == prepared.run(query).items()
+
+        # run_many: shards across workers, merges to the same answers;
+        # an explicit top_k overrides the prepared default everywhere.
+        batched = pool.run_many(queries)
+        direct = prepared.run_many(queries)
+        assert set(batched) == set(direct)
+        for query in queries:
+            assert batched[query].items() == direct[query].items()
+        full = pool.run_many(queries[:2], top_k=None)
+        for query in queries[:2]:
+            assert (
+                full[query].items()
+                == prepared.run(query, top_k=None).items()
+            )
+
+        # Both workers participated and report sane counters.
+        stats = pool.stats()
+        assert [entry["worker"] for entry in stats] == [0, 1]
+        assert all(entry["alive"] for entry in stats)
+        assert all(entry["version"] == service.version for entry in stats)
+        assert sum(entry["completed"] for entry in stats) >= len(queries)
+
+        # Errors keep their library type across the pipe (the HTTP
+        # layer maps types to statuses; a worker must not change that).
+        with pytest.raises(UnknownNodeError):
+            pool.run("no-such-node")
+
+        # Live update: the publish hook re-publishes and migrates every
+        # worker; the old segment is gone, the new answers match a
+        # freshly prepared query on the post-apply service.
+        unregister = service.on_publish(pool.publish)
+        old_segment = pool.segments()[0]
+        papers = sorted(database.nodes_of_type("paper"))
+        procs = sorted(database.nodes_of_type("proc"))
+        version = service.apply(
+            edges_added=[(papers[0], "p-in", procs[-1])], incremental=True
+        )
+        unregister()
+        assert pool.version == version
+        assert pool.segments() != [old_segment]
+        assert all(
+            entry["version"] == version for entry in pool.stats()
+        )
+        for query in queries:
+            assert pool.run(query).items() == prepared.run(query).items()
+    finally:
+        pool.shutdown()
+
+    # Zero-leak guarantee, and a closed pool refuses work.
+    assert _shm_entries() == shm_before
+    assert pool.segments() == []
+    with pytest.raises(WorkerError):
+        pool.run(queries[0])
+    pool.shutdown()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Subprocess lifecycle: repro serve --workers 2
+# ----------------------------------------------------------------------
+def _spawn(arguments):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (os.path.abspath(SRC), env.get("PYTHONPATH"))
+        if part
+    )
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli"] + arguments,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _await_announce(process):
+    lines = []
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            process.kill()
+            raise AssertionError(
+                "server exited before announcing: " + "".join(lines)
+            )
+        lines.append(line)
+        match = ANNOUNCE.search(line)
+        if match:
+            return (match.group(1), int(match.group(2))), lines
+
+
+def _call(address, method, path, payload=None, timeout=60):
+    connection = http.client.HTTPConnection(*address, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def test_serve_with_workers_subprocess_lifecycle(tmp_path):
+    database_path = str(tmp_path / "dblp.json")
+    import io
+
+    from repro.cli import main as cli_main
+
+    assert (
+        cli_main(
+            [
+                "generate", "--dataset", "dblp-small",
+                "--seed", "3", "--out", database_path,
+            ],
+            out=io.StringIO(),
+        )
+        == 0
+    )
+
+    from repro.api import SimilaritySession
+    from repro.graph.io import load_json
+
+    database = load_json(database_path)
+    session = SimilaritySession(database)
+    prepared = session.prepare(algorithm="relsim", pattern=PATTERN, top_k=5)
+    areas = sorted(database.nodes_of_type("area"))[:3]
+    expected = {
+        area: [[n, s] for n, s in prepared.run(area).items()]
+        for area in areas
+    }
+
+    shm_before = _shm_entries()
+    process = _spawn(
+        [
+            "serve", database_path,
+            "--algorithm", "relsim", "--pattern", PATTERN,
+            "--top", "5", "--port", "0", "--workers", "2",
+        ]
+    )
+    try:
+        address, _lines = _await_announce(process)
+
+        # Queries flow through the worker pool and still match the
+        # in-process reference answers exactly.
+        for area in areas:
+            status, payload = _call(
+                address, "POST", "/query", {"node": area}
+            )
+            assert status == 200, payload
+            assert payload["ranking"] == expected[area]
+
+        # /statz exposes the pool: worker count, published version,
+        # per-worker liveness and counters.
+        status, stats = _call(address, "GET", "/statz")
+        assert status == 200
+        workers = stats["workers"]
+        assert workers["count"] == 2
+        assert workers["published_version"] == 1
+        assert workers["completed"] >= len(areas)
+        assert len(workers["per_worker"]) == 2
+        assert all(entry["alive"] for entry in workers["per_worker"])
+
+        # A live delta re-publishes; workers adopt the new version and
+        # keep answering.
+        papers = sorted(database.nodes_of_type("paper"))
+        procs = sorted(database.nodes_of_type("proc"))
+        status, applied = _call(
+            address,
+            "POST",
+            "/apply",
+            {"edges_added": [[papers[0], "p-in", procs[-1]]]},
+        )
+        assert status == 200 and applied["version"] == 2
+        status, payload = _call(address, "POST", "/query", {"node": areas[0]})
+        assert status == 200 and payload["version"] == 2
+        status, stats = _call(address, "GET", "/statz")
+        assert stats["workers"]["published_version"] == 2
+        assert all(
+            entry["version"] == 2
+            for entry in stats["workers"]["per_worker"]
+        )
+
+        # The serving parent holds segments while alive.
+        assert _shm_entries() - shm_before
+    except BaseException:
+        process.kill()
+        process.communicate()
+        raise
+
+    process.send_signal(signal.SIGTERM)
+    output, _ = process.communicate(timeout=60)
+    assert process.returncode == 0, (
+        "serve exited {} with output:\n{}".format(process.returncode, output)
+    )
+    # The zero-leak gate: a drained shutdown unlinks every segment.
+    assert _shm_entries() == shm_before, output

@@ -1,0 +1,178 @@
+"""Shared-memory round-trip parity: attached engines rank identically.
+
+The process-parallel serving path (PR 8) publishes the engine's state
+into a ``multiprocessing`` shared-memory segment and reconstructs it
+zero-copy on the reader side (:mod:`repro.server.shm`).  This suite is
+the correctness gate for that round trip: for **every** registered
+algorithm, a query answered through an attached session must be
+bitwise-identical to the in-process answer — same nodes, same float
+scores, same order — including after an incremental ``apply``
+re-publishes a new segment.  (Cross-*process* parity, through real
+spawn workers, is asserted by ``tests/test_server_workers.py``; this
+suite pins down the serialization layer itself.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.prepared import PreparedQuery
+from repro.api.service import SimilarityService
+from repro.datasets import generate_dblp
+from repro.exceptions import SnapshotError
+from repro.server.shm import (
+    REGISTRY,
+    SHM_FORMAT,
+    attach_session,
+    publish_session,
+)
+from repro.api import available_algorithms
+
+TOP_K = 10
+
+#: One prepared-query spec per registered algorithm (mirrors the
+#: delta-fuzz suite), plus RelSim's Algorithm-1 expansion variant —
+#: the expanded pattern set crosses the manifest as text and must
+#: rebind without re-running expansion.
+SPECS = [
+    ("relsim", {"pattern": "r-a-.p-in.p-in-.r-a"}),
+    (
+        "relsim",
+        {
+            "pattern": "r-a-.p-in.p-in-.r-a",
+            "expand": {"max_patterns": 8},
+        },
+    ),
+    ("pathsim", {"pattern": "p-in.p-in-"}),
+    ("hetesim", {"pattern": "p-in-.p-in", "answer_type": "proc"}),
+    ("rwr", {}),
+    ("simrank", {}),
+    ("pattern-rwr", {"pattern": "p-in.p-in-"}),
+    ("pattern-simrank", {"pattern": "p-in.p-in-"}),
+    ("common-neighbors", {}),
+    ("katz", {}),
+]
+
+
+def _tiny_dblp(seed):
+    return generate_dblp(3, 6, 36, 20, seed=seed).database
+
+
+def _queries(database, options):
+    procs = sorted(database.nodes_of_type("proc"))
+    areas = sorted(database.nodes_of_type("area"))
+    if options.get("answer_type") == "proc":
+        return procs[:3]
+    return areas[:2] + procs[:3]
+
+
+def _publish(service):
+    manifest = publish_session(service.session, service.version)
+    assert manifest["format"] == SHM_FORMAT
+    assert manifest["segment"] in REGISTRY.names()
+    return manifest
+
+
+def _assert_parity(service, attached, locals_):
+    """Every spec, every query: attached ranking == in-process ranking."""
+    for (name, options), local in zip(SPECS, locals_):
+        worker = PreparedQuery.from_spec(attached.session, local.export_spec())
+        for query in _queries(service.database, options):
+            theirs = worker.run(query).items()
+            ours = local.run(query).items()
+            assert theirs == ours, (
+                "algorithm {!r} query {!r}: attached engine diverged "
+                "from in-process engine".format(name, query)
+            )
+            # Bitwise, not approximately: the worker reads the *same*
+            # buffers the parent computed, so scores must be equal as
+            # floats, not merely close.
+            assert [s for _, s in theirs] == [s for _, s in ours]
+        del worker  # release matrix views before the segment unmaps
+
+
+def test_specs_cover_every_registered_algorithm():
+    assert {name for name, _ in SPECS} == set(available_algorithms())
+
+
+def test_attached_engine_ranks_identically_for_all_algorithms():
+    service = SimilarityService(_tiny_dblp(0))
+    locals_ = [
+        service.prepare(algorithm=name, top_k=TOP_K, **options)
+        for name, options in SPECS
+    ]
+    manifest = _publish(service)  # after warming: caches ride along
+    attached = attach_session(manifest)
+    try:
+        assert attached.version == service.version
+        assert attached.loaded["matrices"] > 0
+        assert attached.loaded["adjacency"] > 0
+        assert attached.loaded["skipped"] == 0
+        _assert_parity(service, attached, locals_)
+    finally:
+        attached.close()
+        REGISTRY.unlink(manifest["segment"])
+    assert manifest["segment"] not in REGISTRY.names()
+
+
+def test_attached_engine_ranks_identically_after_incremental_republish():
+    service = SimilarityService(_tiny_dblp(1))
+    locals_ = [
+        service.prepare(algorithm=name, top_k=TOP_K, **options)
+        for name, options in SPECS
+    ]
+    papers = sorted(service.database.nodes_of_type("paper"))
+    procs = sorted(service.database.nodes_of_type("proc"))
+    version = service.apply(
+        edges_added=[(papers[0], "p-in", procs[-1])], incremental=True
+    )
+    assert version == 2
+
+    manifest = _publish(service)
+    assert manifest["version"] == 2
+    attached = attach_session(manifest)
+    try:
+        # The service's prepared handles are live (delta-maintained);
+        # the attached engine was rebuilt from the *post-apply* segment.
+        _assert_parity(service, attached, locals_)
+    finally:
+        attached.close()
+        REGISTRY.unlink(manifest["segment"])
+
+
+def test_attached_matrices_are_zero_copy_read_only_views():
+    service = SimilarityService(_tiny_dblp(2))
+    service.prepare(
+        algorithm="relsim", pattern="r-a-.p-in.p-in-.r-a", top_k=TOP_K
+    )
+    manifest = _publish(service)
+    attached = attach_session(manifest)
+    try:
+        engine = attached.session.engine
+        state = engine.export_cache()
+        assert state["matrices"], "attached engine lost its preload"
+        for _key, matrix in state["matrices"]:
+            # Views over the mapped segment, never copies: numpy marks
+            # a frombuffer slice as not owning its data, and the attach
+            # path freezes it read-only.
+            assert not matrix.data.flags.owndata
+            assert not matrix.data.flags.writeable
+            with pytest.raises(ValueError):
+                matrix.data[0] = np.float64(0.0)
+    finally:
+        attached.close()
+        REGISTRY.unlink(manifest["segment"])
+
+
+def test_attach_rejects_unknown_manifest_format():
+    with pytest.raises(SnapshotError):
+        attach_session({"format": SHM_FORMAT + 1, "segment": "nope"})
+    with pytest.raises(SnapshotError):
+        attach_session("not a manifest")
+
+
+def test_attach_reports_vanished_segment():
+    service = SimilarityService(_tiny_dblp(3))
+    manifest = _publish(service)
+    REGISTRY.unlink(manifest["segment"])
+    with pytest.raises(SnapshotError):
+        attach_session(manifest)
