@@ -247,6 +247,41 @@ class PreparedQuery:
         """The default ``top_k`` applied by :meth:`run`/:meth:`run_many`."""
         return self._top_k
 
+    def footprint(self):
+        """``(labels, growth_sensitive)`` for delta pruning, or ``None``.
+
+        ``labels`` is the frozenset of edge labels this query's scores
+        can possibly read; a delta touching none of them cannot change
+        any ranking.  ``growth_sensitive`` marks queries whose float
+        results can also shift when the node set grows (shape-dependent
+        reductions, or plans embedding an identity term).  ``None``
+        means the algorithm may read the whole graph — every delta is
+        relevant.
+        """
+        from repro.lang.plan import pattern_footprint
+
+        bound = self._bound
+        algorithm = bound.algorithm
+        if not algorithm.pattern_local:
+            return None
+        plans = [
+            bound.session.engine.compile(pattern)
+            for pattern in bound.patterns
+            if isinstance(pattern, Pattern)
+        ]
+        labels, embeds = pattern_footprint(plans)
+        return labels, algorithm.delta_growth_sensitive or embeds
+
+    def bound_snapshot(self):
+        """``(session, algorithm)`` read atomically from the bound state.
+
+        One read of the bound reference, so the pair is always mutually
+        consistent even against a concurrent rebind — unlike reading
+        :attr:`session` and :attr:`algorithm` separately.
+        """
+        bound = self._bound
+        return bound.session, bound.algorithm
+
     def explain(self):
         """The compiled plan report for the prepared pattern set."""
         bound = self._bound

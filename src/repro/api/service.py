@@ -33,9 +33,11 @@ import threading
 import time
 import weakref
 
+from repro.api.prepared import _UNSET
 from repro.api.session import SimilaritySession
 from repro.similarity.base import SimilarityAlgorithm
 from repro.exceptions import EvaluationError
+from repro.streaming import DeltaReport, SubscriptionManager
 
 
 class _Snapshot:
@@ -131,6 +133,7 @@ class SimilarityService:
             "invalidated": 0,
             "last_path": None,
         }
+        self._subscriptions = SubscriptionManager()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -272,6 +275,42 @@ class SimilarityService:
             ]
             self._handles.append(weakref.ref(prepared))
             return prepared
+
+    def subscribe(self, prepared, node, callback=None, top_k=_UNSET):
+        """A standing query: keep ``node``'s top-k current under deltas.
+
+        ``prepared`` must be a live handle obtained from this service's
+        :meth:`prepare` — that is what guarantees it is re-bound before
+        every publish, so maintenance always scores the new snapshot.
+        Returns a :class:`~repro.streaming.Subscription` whose
+        maintained ranking is bitwise identical to re-running the
+        prepared query after every update; ``callback(event)`` (when
+        given) fires on a dedicated notifier thread with the initial
+        snapshot and then only when the ranking actually changes.
+        ``top_k`` defaults to the prepared query's own.
+        """
+        with self._mutate_lock:
+            if not any(ref() is prepared for ref in self._handles):
+                raise EvaluationError(
+                    "subscribe() needs a prepared handle from this "
+                    "service's prepare(); session-prepared or foreign "
+                    "handles are not re-bound on publish"
+                )
+            if top_k is _UNSET:
+                top_k = prepared.top_k
+            return self._subscriptions.subscribe(
+                prepared, node, callback, top_k, self._snapshot.version
+            )
+
+    @property
+    def subscriptions(self):
+        """The :class:`~repro.streaming.SubscriptionManager` (advanced)."""
+        return self._subscriptions
+
+    @property
+    def subscription_stats(self):
+        """Aggregate standing-query counters (see ``/statz``)."""
+        return self._subscriptions.stats()
 
     def query(self, node):
         """A one-shot fluent builder on the current snapshot."""
@@ -416,7 +455,14 @@ class SimilarityService:
             nodes_added=nodes_added,
         )
         session = SimilaritySession(database, engine=engine)
-        version = self._publish_locked(session, reuse_expansion=True)
+        report = DeltaReport(
+            labels=frozenset(stats["labels"]),
+            grew=stats["nodes_added"] > 0,
+            plan_deltas=stats["plan_deltas"],
+        )
+        version = self._publish_locked(
+            session, reuse_expansion=True, report=report
+        )
         self._delta_stats["incremental_applies"] += 1
         self._delta_stats["patched"] += stats["patched"]
         self._delta_stats["invalidated"] += stats["invalidated"]
@@ -430,7 +476,7 @@ class SimilarityService:
         self._delta_stats["last_path"] = "rebuild"
         return version
 
-    def _publish_locked(self, session, reuse_expansion):
+    def _publish_locked(self, session, reuse_expansion, report=None):
         # Phase 1 (slow, off the serving path): rebuild every live
         # prepared handle against the new session.  On a full rebuild,
         # expansion re-runs and matrices re-materialize; on an
@@ -460,6 +506,12 @@ class SimilarityService:
                 hook(session, version)
             except Exception as error:
                 self._record_error("publish-hook", error)
+        # Standing queries last: handles are re-bound and the snapshot
+        # is published, so maintenance scores the new state.  Without a
+        # delta report (full rebuild) every subscription re-ranks.
+        self._subscriptions.on_publish(
+            version, report if report is not None else DeltaReport.unknown()
+        )
         return version
 
     def __repr__(self):

@@ -11,6 +11,7 @@ Subcommands mirror the research workflow::
     repro check db.json --pattern "r-a-.r-a" --json      # static type check
     repro serve db.json --pattern "r-a-.r-a" --expand    # HTTP server
     repro serve --snapshot snap.npz                      # ... warm-started
+    repro watch http://127.0.0.1:8321 --node "proc:0"    # standing query
     repro serve-bench db.json --pattern "r-a-.r-a" --expand      # serving
     repro stats db.json --live                           # cache/delta counters
     repro transform db.json --mapping dblp2sigm --out t.json
@@ -191,6 +192,38 @@ def build_parser():
         action="store_true",
         help="serve each /query as its own run() call (the serial "
         "baseline)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="follow a standing query's top-k over SSE (POST /subscribe)",
+    )
+    watch.add_argument(
+        "url", help="server base URL, e.g. http://127.0.0.1:8321"
+    )
+    watch.add_argument("--node", required=True, help="query node to watch")
+    watch.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="ranking size (default: the server's prepared top_k)",
+    )
+    watch.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="exit after this many events (default: until disconnect)",
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="socket timeout in seconds (default: wait forever)",
+    )
+    watch.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object per event instead of text lines",
     )
 
     serve_bench = sub.add_parser(
@@ -722,6 +755,104 @@ def _cmd_serve(args, out):
     return 0
 
 
+def _print_sse_event(name, data, as_json, out):
+    import json
+
+    if as_json:
+        try:
+            payload = json.loads(data) if data else None
+        except ValueError:
+            payload = data
+        print(json.dumps({"event": name, "data": payload}), file=out, flush=True)
+        return
+    try:
+        payload = json.loads(data)
+    except ValueError:
+        print("{}: {}".format(name, data), file=out, flush=True)
+        return
+    if name in ("snapshot", "update") and isinstance(payload, dict):
+        ranking = " ".join(
+            "{}={:.4f}".format(node, score)
+            for node, score in payload.get("ranking", [])
+        )
+        changes = []
+        for sign, key in (("+", "entered"), ("-", "left"), ("~", "reordered")):
+            nodes = payload.get(key)
+            if name == "update" and nodes:
+                changes.append(sign + ",".join(nodes))
+        suffix = " ({})".format(" ".join(changes)) if changes else ""
+        print(
+            "{} v{}{}: {}".format(
+                name, payload.get("version"), suffix, ranking or "(empty)"
+            ),
+            file=out,
+            flush=True,
+        )
+    else:
+        print("{}: {}".format(name, data), file=out, flush=True)
+
+
+def _cmd_watch(args, out):
+    """Stream a standing query's events to stdout, one line per event."""
+    import http.client
+    import json
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(args.url if "//" in args.url else "//" + args.url)
+    if not parts.hostname:
+        raise EvaluationError(
+            "watch needs a server URL like http://127.0.0.1:8321, got "
+            "{!r}".format(args.url)
+        )
+    body = {"node": args.node}
+    if args.top is not None:
+        body["top_k"] = args.top
+    connection = http.client.HTTPConnection(
+        parts.hostname, parts.port or 80, timeout=args.timeout
+    )
+    try:
+        connection.request(
+            "POST",
+            "/subscribe",
+            body=json.dumps(body),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        if response.status != 200:
+            detail = response.read().decode("utf-8", "replace")
+            print(
+                "error: server answered {}: {}".format(
+                    response.status, detail
+                ),
+                file=sys.stderr,
+            )
+            return 2
+        seen = 0
+        name = None
+        data = []
+        while args.max_events is None or seen < args.max_events:
+            try:
+                raw = response.readline()
+            except (TimeoutError, OSError):
+                break
+            if not raw:
+                break  # server closed the stream
+            line = raw.decode("utf-8", "replace").rstrip("\r\n")
+            if line.startswith("event:"):
+                name = line[len("event:"):].strip()
+            elif line.startswith("data:"):
+                data.append(line[len("data:"):].strip())
+            elif not line and (name is not None or data):
+                # Blank line terminates one SSE frame.
+                _print_sse_event(name or "message", "".join(data), args.json, out)
+                seen += 1
+                name = None
+                data = []
+        return 0
+    finally:
+        connection.close()
+
+
 def _cmd_serve_bench(args, out):
     database = load_json(args.database)
     session = _apply_delta_args(database, args, out)
@@ -952,6 +1083,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
+    "watch": _cmd_watch,
     "transform": _cmd_transform,
     "patterns": _cmd_patterns,
     "robustness": _cmd_robustness,

@@ -153,6 +153,39 @@ def pathsim_rows(matrix, indices, diagonal=None, out=None):
     return scores
 
 
+def pathsim_columns(matrix, row, diagonal, columns, out):
+    """Add one row's PathSim contributions at selected ``columns`` only.
+
+    The column-restricted form of :func:`pathsim_rows`, used by
+    standing-query maintenance to rescore just the candidates a delta
+    touched.  ``columns`` must be a sorted index array and ``out`` a
+    parallel accumulator.  Every arithmetic step is the same elementwise
+    operation :func:`pathsim_rows` performs on the full stored row
+    (``2.0 * value / (diag[row] + diag[col])`` over stored entries with
+    a positive denominator), so the accumulated scores are bitwise
+    identical to the corresponding slots of a full scoring pass.
+    """
+    start, end = matrix.indptr[row], matrix.indptr[row + 1]
+    cols = matrix.indices[start:end]
+    positions = np.searchsorted(columns, cols)
+    inside = positions < len(columns)
+    selected = inside.copy()
+    selected[inside] = columns[positions[inside]] == cols[inside]
+    if not selected.any():
+        return out
+    cols = cols[selected]
+    values = matrix.data[start:end][selected]
+    positions = positions[selected]
+    denominator = diagonal[row] + diagonal[cols]
+    positive = denominator > 0
+    if not positive.all():
+        positions = positions[positive]
+        values = values[positive]
+        denominator = denominator[positive]
+    out[positions] += 2.0 * values / denominator
+    return out
+
+
 def naive_matrix(view, pattern, max_star_depth=None, cache=None):
     """Seed-style recursive evaluation of one pattern AST (the oracle).
 
@@ -864,6 +897,7 @@ class CommutingMatrixEngine:
 
         patched = kept = invalidated = 0
         new_cache = OrderedDict()
+        plan_deltas = {}
         pad = np.zeros(n - delta.old_num_nodes, dtype=np.float64)
         for plan in list(old_cache):
             result = resolve(plan)
@@ -874,6 +908,12 @@ class CommutingMatrixEngine:
                 continue
             new, d, _ = result
             new_cache[plan] = new
+            if d is not None:
+                # Per-plan sparse deltas (zero for kept entries) feed
+                # the subscription layer's targeted rescoring; a plan
+                # absent from this map (invalidated, or maintained
+                # without a delta) means "changed in an unknown way".
+                plan_deltas[plan] = d
             if d is not None and d.nnz == 0:
                 kept += 1
                 if grew:
@@ -914,6 +954,7 @@ class CommutingMatrixEngine:
             "entries": len(new_cache),
             "labels": sorted(patches),
             "nodes_added": len(delta.added_nodes),
+            "plan_deltas": plan_deltas,
         }
 
     def _plan_matrix(self, node):

@@ -499,6 +499,24 @@ def embeds_identity(node):
     return result
 
 
+def pattern_footprint(plans):
+    """``(labels, embeds_identity)`` for a compiled plan set.
+
+    The delta footprint of a pattern-local algorithm: the union of
+    :func:`leaf_labels` over its compiled plans is every adjacency label
+    whose edges can influence its commuting matrices, and the identity
+    flag marks whether growing the node set alone (``eps``/``star``
+    plans gain diagonal ones) can change them.  Standing-query
+    subscriptions record this pair once and test each published delta
+    against it — a delta touching neither is provably irrelevant.
+    """
+    plans = list(plans)
+    if not plans:
+        return frozenset(), False
+    labels = frozenset().union(*(leaf_labels(plan) for plan in plans))
+    return labels, any(embeds_identity(plan) for plan in plans)
+
+
 def render_order(node):
     """The chosen multiplication order as a parenthesized expression.
 

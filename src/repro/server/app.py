@@ -17,17 +17,26 @@ Operational behavior:
   :meth:`SimilarityService.apply` (incremental when small); a failed
   delta returns an error and leaves the served snapshot and version
   untouched.
+* **Standing queries** — ``POST /subscribe`` upgrades the connection
+  to a Server-Sent-Events stream: the subscription's initial snapshot
+  ranking arrives first, then one ``update`` event per ranking change
+  (see :meth:`SimilarityService.subscribe`).  Each stream's writes
+  await ``drain()``, so a slow subscriber backpressures only its own
+  connection; a subscriber that stops reading long enough to overflow
+  its event buffer is disconnected rather than buffered unboundedly.
 * **Durability** — with a ``snapshot_path``, the service's checkpoint
   hook re-saves the serving snapshot after every successful apply, so
   a restart warm-starts from the last published state.
 
 Endpoints (JSON in, JSON out; see :mod:`repro.server.protocol` for
 payload shapes): ``POST /query``, ``POST /rank_many``, ``POST
-/apply``, ``GET|POST /explain``, ``GET /healthz``, ``GET /statz``.
+/apply``, ``POST /subscribe`` (SSE out), ``GET|POST /explain``,
+``GET /healthz``, ``GET /statz``.
 """
 
 import asyncio
 import concurrent.futures
+import math
 import signal
 import threading
 import time
@@ -48,6 +57,25 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: the entire canned write on the hot path); the transport buffers, and
 #: only a genuinely backed-up connection (slow reader) forces a drain.
 _WRITE_HIGH_WATER = 64 * 1024
+
+
+class _EventStream:
+    """A handler's signal that the response is an SSE stream.
+
+    ``_handle_subscribe`` returns one of these instead of a JSON
+    payload; ``_handle_one`` spots it and hands the connection over to
+    ``_stream_events``.  ``queue`` is loop-bound and fed by the
+    subscription callback via ``call_soon_threadsafe``; ``overflowed``
+    flips when the queue was full at delivery time, after which the
+    stream closes (the client's maintained ranking could be stale).
+    """
+
+    __slots__ = ("subscription", "queue", "overflowed")
+
+    def __init__(self, subscription, queue):
+        self.subscription = subscription
+        self.queue = queue
+        self.overflowed = False
 
 
 class ReproServer:
@@ -72,7 +100,11 @@ class ReproServer:
         ``run`` call — the serial baseline the coalescing benchmark
         gates against.
     max_inflight:
-        Bound on concurrently handled requests; excess gets 503.
+        Bound on concurrently handled requests; excess gets 503 with a
+        ``Retry-After`` derived from the current congestion.
+    max_subscribers:
+        Bound on concurrent ``/subscribe`` SSE streams (each pins a
+        connection and a live subscription); excess gets 503.
     threads:
         Worker threads for similarity execution.
     workers:
@@ -98,6 +130,7 @@ class ReproServer:
         coalesce_window=0.002,
         max_batch=64,
         max_inflight=64,
+        max_subscribers=32,
         threads=4,
         workers=0,
         snapshot_path=None,
@@ -105,6 +138,10 @@ class ReproServer:
         if max_inflight < 1:
             raise ConfigurationError(
                 "max_inflight must be >= 1, got {}".format(max_inflight)
+            )
+        if max_subscribers < 0:
+            raise ConfigurationError(
+                "max_subscribers must be >= 0, got {}".format(max_subscribers)
             )
         if workers < 0:
             raise ConfigurationError(
@@ -119,6 +156,8 @@ class ReproServer:
         self._coalesce_window = coalesce_window
         self._max_batch = max_batch
         self._max_inflight = max_inflight
+        self._max_subscribers = max_subscribers
+        self._sse_active = 0
         self._workers = workers
         self._pool = None
         self._unregister_publish = None
@@ -140,6 +179,7 @@ class ReproServer:
             "/query": (("POST",), self._handle_query),
             "/rank_many": (("POST",), self._handle_rank_many),
             "/apply": (("POST",), self._handle_apply),
+            "/subscribe": (("POST",), self._handle_subscribe),
             "/explain": (("GET", "POST"), self._handle_explain),
             "/healthz": (("GET",), self._handle_healthz),
             "/statz": (("GET",), self._handle_statz),
@@ -336,8 +376,31 @@ class ReproServer:
         )
         path = target.split("?", 1)[0]
         status, payload, extra = await self._serve_request(method, path, body)
+        if isinstance(payload, _EventStream):
+            # The connection now belongs to the event stream; it never
+            # returns to request parsing (SSE is one response that
+            # stays open until either side hangs up).
+            await self._stream_events(writer, payload)
+            return False
         await self._respond(writer, status, payload, extra, keep_alive)
         return keep_alive
+
+    def _retry_after(self):
+        """Seconds a rejected client should wait, from congestion depth.
+
+        Rejection caps ``_inflight`` at ``max_inflight``, so sustained
+        overload shows up as work queued *behind* the cap — the
+        batcher's open window.  Estimate one generation of
+        ``max_inflight`` requests per second and clamp to [1, 8]: a
+        barely-saturated server invites a quick retry, a deeply backed
+        up one pushes the herd further out instead of re-absorbing it
+        immediately.
+        """
+        backlog = self._inflight
+        if self._batcher is not None:
+            backlog += self._batcher.queued
+        generations = math.ceil(backlog / self._max_inflight)
+        return str(max(1, min(8, generations)))
 
     async def _serve_request(self, method, path, body):
         """Route + backpressure + error mapping -> (status, payload, hdrs)."""
@@ -361,7 +424,7 @@ class ReproServer:
                     "error": "server saturated ({} requests in "
                     "flight)".format(self._inflight),
                 },
-                {"Retry-After": "1"},
+                {"Retry-After": self._retry_after()},
             )
         self._inflight += 1
         try:
@@ -471,6 +534,82 @@ class ReproServer:
             "path": self.service.delta_stats["last_path"],
         }
 
+    async def _handle_subscribe(self, payload):
+        node = protocol.require_str(payload, "node")
+        top_k = self._requested_top_k(payload)
+        if self._sse_active >= self._max_subscribers:
+            raise HttpError(
+                503,
+                "subscriber limit reached ({} active streams)".format(
+                    self._sse_active
+                ),
+                {"Retry-After": self._retry_after()},
+            )
+        loop = self._loop
+        stream = _EventStream(None, asyncio.Queue(maxsize=256))
+
+        def enqueue(event):
+            # On the loop.  Once the buffer overflows the stream is
+            # doomed (its maintained ranking would be stale), so stop
+            # accepting events and let the pump close it.
+            if stream.overflowed:
+                return
+            try:
+                stream.queue.put_nowait(event)
+            except asyncio.QueueFull:
+                stream.overflowed = True
+
+        def deliver(event):
+            # On the notifier thread: hand off and return immediately —
+            # a slow subscriber must never stall notification fan-out.
+            loop.call_soon_threadsafe(enqueue, event)
+
+        kwargs = {} if top_k is PREPARED_DEFAULT else {"top_k": top_k}
+        # subscribe() computes the initial ranking (and validates the
+        # node — an unknown one 404s here, before any SSE bytes).  The
+        # snapshot event arrives through ``deliver`` like every other.
+        stream.subscription = await self._run_blocking(
+            self.service.subscribe, self.prepared, node, deliver, **kwargs
+        )
+        self._sse_active += 1
+        return stream
+
+    async def _stream_events(self, writer, stream):
+        """Pump one subscription's events over an open SSE response.
+
+        Each frame awaits ``drain()`` — per-connection backpressure: a
+        slow reader stalls only its own stream, never the notifier
+        thread or other subscribers.  Exceptions (client hangup,
+        shutdown cancellation) propagate to ``_handle_connection``; the
+        ``finally`` guarantees the subscription dies with the stream.
+        """
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-cache\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await writer.drain()
+            while True:
+                event = await stream.queue.get()
+                writer.write(
+                    protocol.encode_sse_event(event.type, event.to_dict())
+                )
+                await writer.drain()
+                if stream.overflowed and stream.queue.empty():
+                    writer.write(
+                        protocol.encode_sse_event(
+                            "overflow",
+                            {"error": "event buffer overflowed; resubscribe"},
+                        )
+                    )
+                    await writer.drain()
+                    return
+        finally:
+            stream.subscription.cancel()
+            self._sse_active -= 1
+
     async def _handle_explain(self, payload):
         patterns = protocol.string_list(payload, "patterns")
         if patterns:
@@ -508,6 +647,11 @@ class ReproServer:
             "coalesce": self._batcher is not None,
             "cache_info": self.service.session.cache_info(),
             "delta_stats": self.service.delta_stats,
+            "subscriptions": dict(
+                self.service.subscription_stats,
+                sse_streams=self._sse_active,
+                max_sse_streams=self._max_subscribers,
+            ),
         }
         if self._batcher is not None:
             stats["queued"] = self._batcher.queued

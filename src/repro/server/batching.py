@@ -84,6 +84,7 @@ class CoalescingBatcher:
             "batches": 0,
             "largest_batch": 0,
             "isolated_errors": 0,
+            "fallback_nodes": 0,
         }
 
     @property
@@ -92,7 +93,9 @@ class CoalescingBatcher:
         return len(self._pending)
 
     def stats(self):
-        """Counters: requests, batches, largest_batch, isolated_errors."""
+        """Counters: requests, batches, largest_batch, isolated_errors,
+        and fallback_nodes (requests re-run alone after a batch failed).
+        """
         return dict(self._stats)
 
     async def submit(self, node, top_k=PREPARED_DEFAULT):
@@ -148,6 +151,7 @@ class CoalescingBatcher:
         except Exception:
             # One bad node must not poison its batch neighbors: retry
             # each request alone so exactly the failing ones fail.
+            self._stats["fallback_nodes"] += len(entries)
             await asyncio.gather(
                 *(
                     self._run_single(node, kwargs, future)

@@ -16,6 +16,7 @@ Payload shapes::
                       "nodes_added":   ["node" | ["node", "type"], ...],
                       "incremental":   true | false | null}
     POST /explain    {"patterns": ["r-a-.r-a", ...]}   (optional body)
+    POST /subscribe  {"node": "proc:0", "top_k": 10}   (SSE stream out)
 
 Rankings serialize as ``[[node, score], ...]`` in rank order — the
 paper's deterministic tie-broken order survives the wire.
@@ -196,3 +197,18 @@ def ranking_payload(ranking):
 def encode_json(payload):
     """Compact UTF-8 JSON bytes for a response body."""
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def encode_sse_event(name, payload):
+    """One Server-Sent-Events frame: ``event:`` line + JSON ``data:``.
+
+    The payload is compact JSON (no newlines), so a single ``data:``
+    line suffices and the frame ends with the standard blank line.
+    """
+    return (
+        b"event: "
+        + name.encode("utf-8")
+        + b"\ndata: "
+        + encode_json(payload)
+        + b"\n\n"
+    )

@@ -155,6 +155,24 @@ class SimilarityAlgorithm:
     #: independent, so chunking changes nothing but peak memory.
     batch_chunk_size = 512
 
+    #: True when rankings are a pure function of the commuting/adjacency
+    #: matrices of this algorithm's own patterns.  Pattern-local
+    #: algorithms give standing-query subscriptions a label footprint:
+    #: an edge delta touching none of those labels provably cannot
+    #: change a ranking, so maintenance skips it in O(1).  Whole-graph
+    #: algorithms (RWR, SimRank, Katz, common neighbors) keep the
+    #: default and are treated as touched by every delta.
+    pattern_local = False
+
+    #: True when adding nodes alone (no edges on this algorithm's
+    #: labels) can still perturb its scores — dense reductions and
+    #: fixed-point solves change shape with the node count, so their
+    #: float results are not bitwise-stable under padding.  Entry-local
+    #: sparse scorers (PathSim-style) override this to False; plans
+    #: embedding an identity term are handled separately via
+    #: :func:`repro.lang.plan.pattern_footprint`.
+    delta_growth_sensitive = True
+
     def __init__(self, database, answer_type=None):
         self._database = database
         self._answer_type = answer_type
@@ -193,6 +211,24 @@ class SimilarityAlgorithm:
     def is_prepared(self):
         """True once :meth:`prepare_scoring` has pinned scoring state."""
         return self._prepared_state is not None
+
+    def delta_rescore(self, query_index, plan_deltas):
+        """``(columns, scores)`` for candidates a delta may have rescored.
+
+        ``plan_deltas`` maps compiled plan nodes to the sparse delta the
+        engine's incremental maintenance applied to each cached matrix
+        (zero for untouched entries).  Implementations return a sorted
+        index array of every candidate column whose score for
+        ``query_index`` could differ from the pre-delta snapshot,
+        paired with those candidates' *new* scores — computed with the
+        exact same float operations as :meth:`score_rows`, so the
+        values are bitwise comparable against a full re-rank.  Return
+        ``None`` when a targeted rescore cannot be trusted for this
+        delta (missing plan delta, unpinned state, non-entry-local
+        scoring); the subscription layer then falls back to a full
+        re-rank.  The default supports nothing.
+        """
+        return None
 
     def candidates(self, query):
         """Nodes eligible as answers for ``query`` (never the query).

@@ -79,6 +79,12 @@ class HeteSim(SimilarityAlgorithm):
 
     name = "HeteSim"
 
+    pattern_local = True
+    #: The halves are sparse products of row-normalized step matrices;
+    #: node padding adds empty rows/columns without touching any stored
+    #: entry, so existing scores are bitwise stable.
+    delta_growth_sensitive = False
+
     def __init__(
         self, database, pattern, answer_type=None, view=None, engine=None
     ):

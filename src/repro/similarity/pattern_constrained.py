@@ -39,6 +39,11 @@ class PatternRWR(SimilarityAlgorithm):
 
     name = "PatternRWR"
 
+    # The walk only reaches nodes connected through the pattern, but the
+    # dense power iteration's rounding depends on vector length, so the
+    # inherited delta_growth_sensitive=True stays.
+    pattern_local = True
+
     def __init__(
         self,
         database,
@@ -78,6 +83,11 @@ class PatternSimRank(SimilarityAlgorithm):
     """SimRank whose hops follow instances of one RRE pattern."""
 
     name = "PatternSimRank"
+
+    # Hops are pattern instances, but the dense iteration multiplies
+    # full n x n blocks (BLAS rounding varies with shape), so the
+    # inherited delta_growth_sensitive=True stays.
+    pattern_local = True
 
     def __init__(
         self,

@@ -1,0 +1,16 @@
+"""Standing queries over the delta stream (push-based top-k).
+
+See :mod:`repro.streaming.subscription` for the maintenance ladder
+(pruned / rescored / fallback) and the bitwise-identity contract.
+"""
+
+from repro.streaming.events import DeltaReport, RankingEvent, diff_rankings
+from repro.streaming.subscription import Subscription, SubscriptionManager
+
+__all__ = [
+    "DeltaReport",
+    "RankingEvent",
+    "Subscription",
+    "SubscriptionManager",
+    "diff_rankings",
+]

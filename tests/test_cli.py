@@ -594,3 +594,61 @@ def test_check_bad_pattern_syntax(dblp_json, capsys):
     code, _ = run_cli(["check", dblp_json, "--pattern", "(((", "--json"])
     assert code == 2
     assert capsys.readouterr().err
+
+
+# -- watch -------------------------------------------------------------
+
+
+@pytest.fixture
+def watch_server(fig1):
+    from repro.api import SimilarityService
+    from repro.server import BackgroundServer
+
+    service = SimilarityService(fig1)
+    prepared = service.prepare(
+        algorithm="relsim", pattern="r-a-.p-in.p-in-.r-a", top_k=2
+    )
+    with BackgroundServer(service, prepared, port=0) as background:
+        yield "http://{}:{}".format(*background.address), prepared
+
+
+def test_watch_prints_the_snapshot_event(watch_server):
+    url, prepared = watch_server
+    code, output = run_cli(
+        ["watch", url, "--node", "Databases", "--max-events", "1"]
+    )
+    assert code == 0
+    assert output.startswith("snapshot v1")
+    for node, score in prepared.run("Databases").items():
+        assert "{}={:.4f}".format(node, score) in output
+
+
+def test_watch_json_lines(watch_server):
+    import json
+
+    url, _ = watch_server
+    code, output = run_cli(
+        [
+            "watch", url, "--node", "Databases", "--top", "1",
+            "--max-events", "1", "--json",
+        ]
+    )
+    assert code == 0
+    record = json.loads(output.strip())
+    assert record["event"] == "snapshot"
+    assert record["data"]["version"] == 1
+    assert len(record["data"]["ranking"]) == 1
+
+
+def test_watch_reports_server_rejections(watch_server, capsys):
+    url, _ = watch_server
+    code, output = run_cli(["watch", url, "--node", "NoSuchNode"])
+    assert code == 2
+    assert output == ""
+    assert "404" in capsys.readouterr().err
+
+
+def test_watch_rejects_unparseable_url(capsys):
+    code, _ = run_cli(["watch", "http://", "--node", "x"])
+    assert code == 2
+    assert "server URL" in capsys.readouterr().err

@@ -164,6 +164,49 @@ def test_delta_fuzz_incremental_parity_all_algorithms(seed):
                 )
 
 
+def test_delta_fuzz_subscriptions_track_fresh_rankings():
+    """Standing queries stay bitwise-exact under random deltas.
+
+    One live subscription per registered algorithm, maintained through
+    the pruned / rescored-certificate / fallback ladder; after every
+    random delta (alternating incremental applies with full-rebuild
+    swaps) each maintained top-k must equal a fresh session's
+    ``prepared.run`` — item for item, score bit for score bit.
+    """
+    rng = random.Random(SEED + 29)
+    database = _tiny_dblp(SEED + 29)
+    service = SimilarityService(database)
+    prepared = _prepare_all(service)
+    node = sorted(database.nodes_of_type("proc"))[0]
+    subscriptions = [service.subscribe(handle, node) for handle in prepared]
+
+    for step in range(STEPS):
+        edges_added, edges_removed, nodes_added = _random_delta(
+            rng, service.database, step
+        )
+        service.apply(
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+            nodes_added=nodes_added,
+            incremental=step % 2 == 0,
+        )
+        fresh = SimilaritySession(service.database)
+        fresh_prepared = _prepare_all(fresh)
+        for (name, _), live, reference in zip(
+            SPECS, subscriptions, fresh_prepared
+        ):
+            assert live.items() == reference.run(node).items(), (
+                "step {} algorithm {!r}: maintained subscription "
+                "diverged from fresh build".format(step, name)
+            )
+            assert live.version == service.version
+
+    stats = service.subscription_stats
+    assert stats["active"] == len(SPECS)
+    maintained = stats["pruned"] + stats["rescored"] + stats["fallbacks"]
+    assert maintained == len(SPECS) * STEPS
+
+
 def test_delta_fuzz_mixed_incremental_and_rebuild_paths():
     """Interleaving forced rebuilds with incremental applies stays exact."""
     rng = random.Random(SEED + 17)

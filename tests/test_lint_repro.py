@@ -147,6 +147,55 @@ def test_non_lock_with_allowed():
     ) == []
 
 
+def test_callback_dispatch_under_lock_flagged():
+    violations = lint(
+        """
+        def publish(self, event):
+            with self._lock:
+                self._callback(event)
+        """
+    )
+    assert rules_of(violations) == ["lock-discipline"]
+    assert "callback" in violations[0].message
+
+
+def test_bare_callback_call_under_lock_flagged():
+    violations = lint(
+        """
+        def notify(callback, event, lock):
+            with lock:
+                callback(event)
+        """
+    )
+    assert rules_of(violations) == ["lock-discipline"]
+
+
+def test_callback_dispatch_outside_lock_allowed():
+    assert lint(
+        """
+        def publish(self, event):
+            with self._lock:
+                queued = list(self._events)
+            for callback in queued:
+                callback(event)
+        """
+    ) == []
+
+
+def test_callback_reference_under_lock_allowed():
+    # Storing or enqueueing a callback under a lock is the sanctioned
+    # pattern; only *invoking* one there is a violation.
+    assert lint(
+        """
+        def register(self, callback):
+            with self._lock:
+                self._callbacks.append(callback)
+                hook = self._lookup(callback)
+            hook()
+        """
+    ) == []
+
+
 # -- int32-index -------------------------------------------------------
 
 

@@ -17,7 +17,7 @@ import pytest
 
 from repro.api import SimilarityService
 from repro.server import BackgroundServer, load_service
-from repro.server.app import MAX_BODY_BYTES
+from repro.server.app import MAX_BODY_BYTES, ReproServer
 
 PATTERN = "r-a-.p-in.p-in-.r-a"
 QUERIES = ("DataMining", "Databases", "SoftwareEngineering")
@@ -375,6 +375,104 @@ def test_snapshot_checkpoint_after_apply(fig1, tmp_path):
     )
     assert {q: warm_prepared.run(q).items() for q in QUERIES} == expected
     assert warm.session.cache_info()["misses"] == 0
+
+
+def _read_sse_event(response):
+    """Parse one ``event:``/``data:`` frame off an open SSE response."""
+    name, data = None, None
+    while True:
+        line = response.readline()
+        if not line:
+            return None
+        line = line.decode("utf-8").rstrip("\r\n")
+        if line.startswith("event:"):
+            name = line.split(":", 1)[1].strip()
+        elif line.startswith("data:"):
+            data = json.loads(line.split(":", 1)[1].strip())
+        elif line == "" and name is not None:
+            return name, data
+
+
+def test_subscribe_streams_snapshot_then_updates(serving):
+    service, prepared, address = serving
+    node = QUERIES[0]
+    connection = http.client.HTTPConnection(*address, timeout=30)
+    try:
+        connection.request(
+            "POST", "/subscribe", body=json.dumps({"node": node})
+        )
+        response = connection.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "text/event-stream"
+
+        name, snapshot = _read_sse_event(response)
+        assert name == "snapshot"
+        assert snapshot["version"] == service.version
+        assert snapshot["ranking"] == [
+            [n, s] for n, s in prepared.run(node).items()
+        ]
+
+        status, stats, _ = _call(address, "GET", "/statz")
+        assert status == 200
+        assert stats["subscriptions"]["active"] == 1
+        assert stats["subscriptions"]["sse_streams"] == 1
+
+        # A ranking-moving delta applied over a second connection is
+        # pushed to the already-open stream.
+        status, applied, _ = _call(
+            address, "POST", "/apply", {"edges_added": [DELTA_EDGE]}
+        )
+        assert status == 200
+        name, update = _read_sse_event(response)
+        assert name == "update"
+        assert update["version"] == applied["version"]
+        assert update["ranking"] == [
+            [n, s] for n, s in prepared.run(node).items()
+        ]
+        # The delta only moved scores here, so the membership diff is
+        # empty — but the pushed ranking itself must have changed.
+        assert update["ranking"] != snapshot["ranking"]
+        for key in ("entered", "left", "reordered"):
+            assert isinstance(update[key], list)
+    finally:
+        connection.close()
+
+
+def test_subscribe_unknown_node_is_404_not_a_stream(serving):
+    _, _, address = serving
+    status, payload, headers = _call(
+        address, "POST", "/subscribe", {"node": "NoSuchNode"}
+    )
+    assert status == 404
+    assert "NoSuchNode" in payload["error"]
+    assert headers["Content-Type"] == "application/json"
+
+
+def test_subscriber_limit_sheds_with_retry_after(fig1):
+    service = SimilarityService(fig1)
+    prepared = service.prepare(algorithm="relsim", pattern=PATTERN, top_k=2)
+    with BackgroundServer(
+        service, prepared, port=0, max_subscribers=0
+    ) as background:
+        status, payload, headers = _call(
+            background.address, "POST", "/subscribe", {"node": QUERIES[0]}
+        )
+    assert status == 503
+    assert "subscriber limit" in payload["error"]
+    assert int(headers["Retry-After"]) >= 1
+
+
+def test_retry_after_scales_with_congestion(fig1):
+    service = SimilarityService(fig1)
+    prepared = service.prepare(algorithm="relsim", pattern=PATTERN, top_k=2)
+    server = ReproServer(service, prepared, max_inflight=4, coalesce=False)
+    assert server._retry_after() == "1"  # idle: invite a quick retry
+    server._inflight = 4
+    assert server._retry_after() == "1"
+    server._inflight = 12
+    assert server._retry_after() == "3"
+    server._inflight = 10_000
+    assert server._retry_after() == "8"  # clamped: don't strand clients
 
 
 def test_background_server_shuts_down_cleanly(fig1):

@@ -65,6 +65,7 @@ def test_concurrent_submits_fold_into_one_run_many():
         "batches": 1,
         "largest_batch": 8,
         "isolated_errors": 0,
+        "fallback_nodes": 0,
     }
 
 
@@ -135,6 +136,8 @@ def test_poisoned_request_fails_alone():
         "good1", "bad", "good2",
     ]
     assert batcher.stats()["isolated_errors"] == 1
+    # Every request in the poisoned batch went through per-node retry.
+    assert batcher.stats()["fallback_nodes"] == 3
 
 
 def test_zero_window_still_coalesces_same_pass_arrivals():

@@ -20,7 +20,12 @@ Rules
     No matrix products (``@`` / ``.multiply(...)``) lexically inside a
     ``with ..._lock:`` block.  The engine's contract is: compute outside
     the lock, publish under it; a matmul under a lock serializes every
-    concurrent reader behind one multiplication.
+    concurrent reader behind one multiplication.  Also: no callback
+    dispatch (a call named ``callback`` / ``*_callback``) under a lock —
+    user code invoked while a lock is held can block every other thread
+    on it or deadlock by re-entering the library; hand events to a
+    queue and invoke callbacks from a notifier thread instead (see
+    :mod:`repro.streaming.subscription`).
 
 ``int32-index``
     No explicit 32-bit index construction (``np.int32``,
@@ -219,9 +224,29 @@ class _Linter(ast.NodeVisitor):
         func = node.func
         if isinstance(func, ast.Attribute):
             self._check_attribute_call(node, func)
+        self._check_callback_dispatch(node, func)
         self._check_int32_args(node)
         self._check_shm_create(node, func)
         self.generic_visit(node)
+
+    def _check_callback_dispatch(self, node, func):
+        if not self._lock_depth:
+            return
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is not None and (
+            name == "callback" or name.endswith("_callback")
+        ):
+            self.report(
+                node,
+                "lock-discipline",
+                "callback dispatched inside a `with ..._lock:` block in "
+                "{}; enqueue the event and invoke callbacks from a "
+                "notifier thread with no lock held".format(self.qualname),
+            )
 
     def _check_shm_create(self, node, func):
         name = None
