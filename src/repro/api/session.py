@@ -65,6 +65,13 @@ class SimilaritySession:
     max_cached_matrices:
         When set, the engine keeps at most this many commuting matrices
         (LRU eviction).  Default: keep everything.
+    memory_budget:
+        When set, a byte bound on the engine's cache (matrices plus
+        derived vectors): the engine evicts by measured bytes, spills
+        oversized products (computed, returned, not retained), and
+        streams oversized chain intermediates in row blocks — queries
+        complete with bitwise-identical rankings instead of OOMing.
+        Default: unbounded.
 
     The session is a *snapshot*, like the engine: mutating the database
     afterwards makes cached matrices stale.  For workloads that must
@@ -83,6 +90,7 @@ class SimilaritySession:
         engine=None,
         max_star_depth=None,
         max_cached_matrices=None,
+        memory_budget=None,
     ):
         self._database = database
         if engine is None:
@@ -90,6 +98,7 @@ class SimilaritySession:
                 database,
                 max_star_depth=max_star_depth,
                 max_cached_matrices=max_cached_matrices,
+                memory_budget=memory_budget,
             )
         self._engine = engine
 

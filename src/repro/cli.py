@@ -39,6 +39,7 @@ from repro.api import (
 from repro.datasets import (
     generate_biomed_small,
     generate_dblp,
+    generate_dblp_scale,
     generate_dblp_small,
     generate_mas,
     generate_wsu,
@@ -69,6 +70,10 @@ from repro.transform import (
 _DATASETS = {
     "dblp": generate_dblp,
     "dblp-small": generate_dblp_small,
+    # Scale tiers of the power-law DBLP-like generator (~edge counts;
+    # see repro.datasets.scale and benchmarks/bench_scale.py).
+    "dblp-scale-1e5": lambda seed=0: generate_dblp_scale(10**5, seed=seed),
+    "dblp-scale-1e6": lambda seed=0: generate_dblp_scale(10**6, seed=seed),
     "wsu": generate_wsu,
     "biomed": generate_biomed_small,
     "mas": generate_mas,
@@ -116,6 +121,7 @@ def build_parser():
         help="build a serving service and report engine cache_info and "
         "delta_stats counters",
     )
+    _add_memory_budget_flag(stats)
     _add_delta_flags(stats)
 
     query = sub.add_parser("query", help="similarity search")
@@ -362,7 +368,50 @@ def _add_serving_flags(parser, threads):
     parser.add_argument(
         "--scoring", choices=("pathsim", "count", "cosine"), default="pathsim"
     )
+    _add_memory_budget_flag(parser)
     _add_delta_flags(parser)
+
+
+def _add_memory_budget_flag(parser):
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES[K|M|G]",
+        help="byte budget for the engine's matrix cache (evict/spill/"
+        "stream instead of growing unbounded); applies when building "
+        "from a JSON database, e.g. 256M",
+    )
+
+
+def _parse_bytes(text):
+    """``'512M'`` / ``'2G'`` / ``'65536'`` -> int bytes (None passes)."""
+    if text is None:
+        return None
+    value = str(text).strip()
+    suffixes = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    scale = 1
+    if value and value[-1].lower() in suffixes:
+        scale = suffixes[value[-1].lower()]
+        value = value[:-1]
+    try:
+        amount = float(value)
+    except ValueError:
+        raise EvaluationError(
+            "--memory-budget takes bytes with an optional K/M/G suffix "
+            "(got {!r})".format(text)
+        )
+    result = int(amount * scale)
+    if result < 1:
+        raise EvaluationError(
+            "--memory-budget must come to >= 1 byte (got {!r})".format(text)
+        )
+    return result
+
+
+def _budget_options(args):
+    """Session keywords from ``--memory-budget`` (absent flag = none)."""
+    budget = _parse_bytes(getattr(args, "memory_budget", None))
+    return {} if budget is None else {"memory_budget": budget}
 
 
 def _add_delta_flags(parser):
@@ -405,9 +454,10 @@ def _apply_delta_args(database, args, out):
     """
     added = [_parse_edge_flag(text) for text in args.add_edges]
     removed = [_parse_edge_flag(text) for text in args.remove_edges]
+    options = _budget_options(args)
     if not added and not removed:
-        return SimilaritySession(database)
-    service = SimilarityService(database, copy=False)
+        return SimilaritySession(database, **options)
+    service = SimilarityService(database, copy=False, **options)
     start = time.perf_counter()
     version = service.apply(edges_added=added, edges_removed=removed)
     elapsed = time.perf_counter() - start
@@ -461,7 +511,9 @@ def _cmd_stats(args, out):
         _print_snapshot_info(args.snapshot, info, out)
         name = args.snapshot
     else:
-        service = SimilarityService(load_json(args.database), copy=False)
+        service = SimilarityService(
+            load_json(args.database), copy=False, **_budget_options(args)
+        )
         name = args.database
     if added or removed:
         service.apply(edges_added=added, edges_removed=removed)
@@ -699,7 +751,9 @@ def _serving_service(args, out):
             file=out,
         )
     elif args.database is not None:
-        service = SimilarityService(load_json(args.database), copy=False)
+        service = SimilarityService(
+            load_json(args.database), copy=False, **_budget_options(args)
+        )
     else:
         raise EvaluationError(
             "serve needs a database path or an existing --snapshot file"

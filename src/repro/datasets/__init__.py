@@ -3,17 +3,24 @@
 from repro.datasets.biomed import generate_biomed, generate_biomed_small
 from repro.datasets.dblp import figure1_dblp, generate_dblp, generate_dblp_small
 from repro.datasets.mas import generate_mas
-from repro.datasets.synthetic import DatasetBundle, SeededGenerator
+from repro.datasets.scale import generate_dblp_scale
+from repro.datasets.synthetic import (
+    BUNDLE_VERSION,
+    DatasetBundle,
+    SeededGenerator,
+)
 from repro.datasets.workloads import sample_queries_by_degree, uniform_queries
 from repro.datasets.wsu import generate_wsu
 
 __all__ = [
+    "BUNDLE_VERSION",
     "DatasetBundle",
     "SeededGenerator",
     "figure1_dblp",
     "generate_biomed",
     "generate_biomed_small",
     "generate_dblp",
+    "generate_dblp_scale",
     "generate_dblp_small",
     "generate_mas",
     "generate_wsu",

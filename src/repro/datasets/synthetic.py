@@ -10,9 +10,25 @@ Generators intentionally produce skewed (Zipf-ish) degree distributions:
 the paper samples query workloads by node degree, and several baselines'
 non-robustness is amplified by degree skew, so uniform graphs would make
 the reproduction unrealistically tame.
+
+.. data:: BUNDLE_VERSION
+
+    Version tag of the generated-content stream.  The generators are
+    deterministic per ``(seed, parameters, BUNDLE_VERSION)``; the tag is
+    bumped whenever the sampling *implementation* changes the RNG
+    consumption order, which re-versions every generated bundle at once
+    instead of silently shifting content under a fixed seed.  Version 2
+    replaced the O(count * |pool|) ``zipf_sample`` (per-pick list
+    ``pop`` shifting) with cumulative-weight bisection.
 """
 
+import bisect
+import math
 import random
+
+#: Bumped when generator sampling changes RNG consumption (see module
+#: docstring).  Stamped into every bundle's ``info`` dict.
+BUNDLE_VERSION = 2
 
 
 class SeededGenerator:
@@ -20,32 +36,92 @@ class SeededGenerator:
 
     def __init__(self, seed=0):
         self.rng = random.Random(seed)
+        # Cumulative Zipf weights, keyed by (pool size, exponent): the
+        # generators draw from the same fixed pools thousands of times,
+        # so the O(n) prefix-sum is paid once per pool, not per draw.
+        self._zipf_cumulative = {}
 
     def make_ids(self, prefix, count):
         """``["prefix:0", ..., "prefix:count-1"]``."""
         return ["{}:{}".format(prefix, i) for i in range(count)]
 
+    def _cumulative_weights(self, size, exponent):
+        key = (size, exponent)
+        cumulative = self._zipf_cumulative.get(key)
+        if cumulative is None:
+            total = 0.0
+            cumulative = []
+            for rank in range(size):
+                total += 1.0 / ((rank + 1) ** exponent)
+                cumulative.append(total)
+            self._zipf_cumulative[key] = cumulative
+        return cumulative
+
     def zipf_choice(self, items, exponent=1.0):
         """Pick one item with probability proportional to rank^-exponent.
 
         Items earlier in the list are "popular"; this is how conferences
-        accumulate papers and proteins accumulate interactions.
+        accumulate papers and proteins accumulate interactions.  One RNG
+        draw plus a bisection over cached cumulative weights — the same
+        arithmetic ``random.choices`` performs, without rebuilding the
+        weight list per call.
         """
-        weights = [
-            1.0 / ((rank + 1) ** exponent) for rank in range(len(items))
-        ]
-        return self.rng.choices(items, weights=weights, k=1)[0]
+        cumulative = self._cumulative_weights(len(items), exponent)
+        pick = bisect.bisect_right(
+            cumulative, self.rng.random() * cumulative[-1]
+        )
+        return items[min(pick, len(items) - 1)]
 
     def zipf_sample(self, items, count, exponent=1.0):
-        """Sample ``count`` *distinct* items, popularity-biased."""
+        """Sample ``count`` *distinct* items, popularity-biased.
+
+        Draws by bisection over cached cumulative weights, rejecting
+        duplicates — O(count log n) expected when ``count`` is a small
+        fraction of the pool.  When it is not (or rejection stalls on a
+        pathologically skewed pool), the remainder falls back to one
+        weighted pass without replacement (exponential sort keys), so a
+        call never degrades past O(n log n).  Deterministic per seed;
+        this implementation consumes the RNG differently from the
+        quadratic pop-shift sampler it replaced, which is why
+        ``BUNDLE_VERSION`` is 2.
+        """
         count = min(count, len(items))
+        if count <= 0:
+            return []
+        cumulative = self._cumulative_weights(len(items), exponent)
+        total = cumulative[-1]
         chosen = []
-        pool = list(items)
-        weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(pool))]
-        for _ in range(count):
-            pick = self.rng.choices(range(len(pool)), weights=weights, k=1)[0]
-            chosen.append(pool.pop(pick))
-            weights.pop(pick)
+        taken = set()
+        if count * 4 <= len(items):
+            # Rejection sampling: duplicates are rare while the sample
+            # is a small fraction of the pool.  The attempt bound only
+            # trips on extreme skew; the weighted pass below finishes.
+            attempts_left = 16 * count + 32
+            while len(chosen) < count and attempts_left:
+                attempts_left -= 1
+                pick = bisect.bisect_right(
+                    cumulative, self.rng.random() * total
+                )
+                pick = min(pick, len(items) - 1)
+                if pick not in taken:
+                    taken.add(pick)
+                    chosen.append(items[pick])
+            if len(chosen) == count:
+                return chosen
+        # Dense fallback: weighted sampling without replacement via
+        # exponential sort keys (Efraimidis-Spirakis) — rank i survives
+        # with probability proportional to its Zipf weight.
+        keyed = []
+        for rank in range(len(items)):
+            if rank in taken:
+                continue
+            weight = 1.0 / ((rank + 1) ** exponent)
+            draw = 1.0 - self.rng.random()  # (0, 1]: log is finite
+            keyed.append((-math.log(draw) / weight, rank))
+        keyed.sort()
+        chosen.extend(
+            items[rank] for _, rank in keyed[: count - len(chosen)]
+        )
         return chosen
 
 
@@ -61,12 +137,16 @@ class DatasetBundle:
         experiments (BioMed plants one relevant drug per query disease).
     info:
         Free-form dict with generation parameters, for reporting.
+        Generators stamp ``bundle_version`` (see :data:`BUNDLE_VERSION`)
+        so downstream golden files can tell which content stream they
+        pinned.
     """
 
     def __init__(self, database, ground_truth=None, info=None):
         self.database = database
         self.ground_truth = dict(ground_truth or {})
         self.info = dict(info or {})
+        self.info.setdefault("bundle_version", BUNDLE_VERSION)
 
     def __repr__(self):
         return "DatasetBundle({!r}, ground_truth={}, info={})".format(

@@ -88,6 +88,36 @@ class GraphDatabase:
         for source, label, target in edges:
             self.add_edge(source, label, target)
 
+    def add_edges_bulk(self, label, pairs):
+        """Add many ``(source, target)`` edges of one label at once.
+
+        The bulk-construction path for the scale generators: one schema
+        check for the whole batch and local bindings inside the loop
+        instead of per-edge method dispatch (~2-3x over ``add_edge`` at
+        millions of edges).  Semantics are identical to repeated
+        :meth:`add_edge` calls — endpoints auto-added untyped, set
+        semantics on duplicates.  Returns the number of edges actually
+        added.
+        """
+        if label not in self._schema:
+            raise UnknownLabelError(label, self._schema.labels)
+        nodes = self._nodes
+        out = self._out[label]
+        backward = self._in[label]
+        added = 0
+        for source, target in pairs:
+            if source not in nodes:
+                nodes[source] = None
+            if target not in nodes:
+                nodes[target] = None
+            targets = out[source]
+            if target not in targets:
+                targets.add(target)
+                backward[target].add(source)
+                added += 1
+        self._edge_count += added
+        return added
+
     def remove_edge(self, source, label, target):
         """Remove an edge.
 
@@ -197,6 +227,18 @@ class GraphDatabase:
             for source, targets in self._out[lab].items():
                 for target in targets:
                     yield (source, lab, target)
+
+    def adjacency_lists(self, label):
+        """Iterate ``(source, set_of_targets)`` for one label.
+
+        The bulk counterpart of :meth:`edges`: one yield per source
+        instead of one per edge, so matrix construction can map a whole
+        neighbor set through the node indexer at once.  The yielded sets
+        are the live internal ones — callers must not mutate them.
+        """
+        if label not in self._schema:
+            raise UnknownLabelError(label, self._schema.labels)
+        return self._out[label].items()
 
     def has_node(self, node):
         return node in self._nodes

@@ -70,9 +70,11 @@ from repro.lang.ast import (
 from repro.lang.plan import (
     PlanCompiler,
     embeds_identity,
+    estimate_bytes,
     estimate_nnz,
     leaf_labels,
     order_chain,
+    product_nnz,
     render_order,
 )
 
@@ -273,6 +275,20 @@ class CommutingMatrixEngine:
         ad-hoc patterns caps memory with this knob.  ``cache_info()``
         reports the cached total nnz and approximate bytes, so the cap
         can be tuned by measured size rather than guessed count.
+    memory_budget:
+        When set, a *byte* bound on the cache (CSR buffers plus derived
+        norm/diagonal vectors).  A count cap alone cannot prevent OOM —
+        a handful of dense-ish plan products can dwarf a thousand
+        sparse ones — so the budget evicts LRU-first by measured bytes
+        at every publish.  A single product larger than the whole
+        budget is still *computed and returned* to its caller, just
+        never retained (it "spills": the next use recomputes), so
+        queries complete with bitwise-identical results instead of
+        dying.  The budget also arms the streaming chain executor: an
+        oversized uncached chain intermediate is evaluated in row
+        blocks under the budget instead of materialized whole.
+        ``cache_info()`` reports ``memory_budget`` / ``budget_used`` /
+        ``spilled`` / ``streamed``.
 
     The cache is keyed on canonical *plan nodes*, not raw ASTs: any two
     patterns with the same canonical form — ``(a.b)-`` and ``b-.a-``,
@@ -296,6 +312,7 @@ class CommutingMatrixEngine:
         database_or_view,
         max_star_depth=None,
         max_cached_matrices=None,
+        memory_budget=None,
         delta_rebuild_threshold=0.25,
     ):
         if isinstance(database_or_view, MatrixView):
@@ -311,8 +328,17 @@ class CommutingMatrixEngine:
                     max_cached_matrices
                 )
             )
+        if memory_budget is not None and memory_budget < 1:
+            raise ConfigurationError(
+                "memory_budget must be >= 1 byte or None, got {}".format(
+                    memory_budget
+                )
+            )
         self._max_star_depth = max_star_depth
         self._max_cached = max_cached_matrices
+        self._memory_budget = (
+            None if memory_budget is None else int(memory_budget)
+        )
         self._rebuild_threshold = float(delta_rebuild_threshold)
         # Every new pattern is statically type-checked against the
         # database schema before it compiles: ill-typed patterns raise
@@ -329,6 +355,8 @@ class CommutingMatrixEngine:
         self._diagonals = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._spilled = 0
+        self._streamed = 0
         # Bumped by apply_delta: a computation started against the old
         # snapshot must not publish into the patched cache.
         self._generation = 0
@@ -353,6 +381,35 @@ class CommutingMatrixEngine:
     def max_cached_matrices(self):
         """The LRU cap (``None`` = keep everything)."""
         return self._max_cached
+
+    @property
+    def memory_budget(self):
+        """The cache byte budget (``None`` = unbounded)."""
+        return self._memory_budget
+
+    def warm_exceeds_limits(self, patterns):
+        """True when pinning the whole pattern set would defeat the cache.
+
+        The serving layers ask this before *warming* a pattern set (and
+        holding strong references to every matrix at once): a set larger
+        than ``max_cached_matrices``, or whose estimated resident bytes
+        exceed ``memory_budget``, would thrash the LRU during the warm
+        and then bypass the limit through the pinned references.  Such
+        callers fall back to the per-call compute path — same results,
+        bounded memory.
+        """
+        plans = [self.compile(pattern) for pattern in patterns]
+        if self._max_cached is not None and len(plans) > self._max_cached:
+            return True
+        if self._memory_budget is not None:
+            n = self._view.num_nodes()
+            estimated = sum(
+                estimate_bytes(plan, self._leaf_nnz, n)
+                for plan in dict.fromkeys(plans)
+            )
+            if estimated > self._memory_budget:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Compile and execute
@@ -431,6 +488,7 @@ class CommutingMatrixEngine:
         clone._default_star_depth = self._default_star_depth
         clone._max_star_depth = self._max_star_depth
         clone._max_cached = self._max_cached
+        clone._memory_budget = self._memory_budget
         clone._rebuild_threshold = self._rebuild_threshold
         # Shared with the compiler: a delta never changes the schema, so
         # the parent's checker stays exact for the fork (its density
@@ -444,6 +502,8 @@ class CommutingMatrixEngine:
             clone._diagonals = OrderedDict(self._diagonals)
             clone._hits = self._hits
             clone._misses = self._misses
+            clone._spilled = self._spilled
+            clone._streamed = self._streamed
             clone._generation = self._generation
             clone._patched = self._patched
             clone._invalidated = self._invalidated
@@ -947,6 +1007,10 @@ class CommutingMatrixEngine:
         self._cache = new_cache
         self._patched += patched
         self._invalidated += invalidated
+        # Patched entries can be larger than what they replaced (a
+        # delta that densifies a product); re-assert the cache limits
+        # so the byte budget holds across live updates too.
+        self._evict()
         return {
             "patched": patched,
             "kept": kept,
@@ -1013,9 +1077,12 @@ class CommutingMatrixEngine:
             result = self._plan_matrix(node.children[0]).T.tocsr()
         elif kind == "chain":
             self._ensure_ordered(node)
-            left = self._plan_matrix(node.left)
-            right = self._plan_matrix(node.right)
-            result = (left @ right).tocsr()
+            if self._should_stream(node):
+                result = self._streamed_chain(node)
+            else:
+                left = self._plan_matrix(node.left)
+                right = self._plan_matrix(node.right)
+                result = (left @ right).tocsr()
         elif kind == "add":
             result = self._plan_matrix(node.children[0])
             for child in node.children[1:]:
@@ -1051,17 +1118,137 @@ class CommutingMatrixEngine:
                 node, self._leaf_nnz, self._view.num_nodes(), self._compiler
             )
 
+    def _chunk_budget(self):
+        # At most a quarter of the budget for any one in-flight chain
+        # intermediate: leaves headroom for the factors, the assembled
+        # result, and whatever else the cache holds.  Floored at 1 MiB
+        # so a tiny budget still computes in sane block sizes.
+        return max(self._memory_budget // 4, 1 << 20)
+
+    def _should_stream(self, node):
+        """True when the planned order would materialize an oversized
+        *uncached* intermediate sub-product under a memory budget.
+
+        Walks the planned binary tree: a cached sub-chain costs nothing
+        (it is already resident), and the root product must be
+        materialized whole regardless, so only uncached interior chain
+        nodes count.  Streaming those (row-blocked left-to-right over
+        the flat factor list) trades their peak bytes for extra flops.
+        """
+        if self._memory_budget is None:
+            return False
+        threshold = self._chunk_budget()
+        n = self._view.num_nodes()
+        stack = [node.left, node.right]
+        while stack:
+            sub = stack.pop()
+            if sub.kind != "chain":
+                continue
+            with self._lock:
+                if sub in self._cache:
+                    continue
+            if estimate_bytes(sub, self._leaf_nnz, n) > threshold:
+                return True
+            self._ensure_ordered(sub)
+            stack.append(sub.left)
+            stack.append(sub.right)
+        return False
+
+    def _streamed_chain(self, node):
+        """Evaluate a chain in row blocks, never materializing interiors.
+
+        The flat factor list is multiplied left-to-right, one block of
+        rows of the first factor at a time, each block pushed through
+        every remaining factor before the next block starts — so the
+        peak in-flight intermediate is one row block, sized by the
+        uniform-sparsity estimate of the *widest* prefix product to fit
+        the chunk budget.  Matrix entries are instance counts (integers
+        exact in float64 far past anything a pattern produces), so the
+        re-association and the row partition are value-exact: after
+        canonicalization the result is bitwise-identical to the planned
+        whole-product path — see
+        tests/test_memory_budget.py::test_streamed_chain_parity.
+        """
+        factors = [self._plan_matrix(child) for child in node.children]
+        n = factors[0].shape[0]
+        widest = running = float(factors[0].nnz)
+        for factor in factors[1:]:
+            running = product_nnz(running, float(factor.nnz), n)
+            widest = max(widest, running)
+        per_row_bytes = 16.0 * widest / max(n, 1) + 8.0
+        rows_per_block = max(
+            1, min(n, int(self._chunk_budget() / per_row_bytes))
+        )
+        blocks = []
+        for start in range(0, n, rows_per_block):
+            block = factors[0][start : start + rows_per_block, :]
+            for factor in factors[1:]:
+                block = block @ factor
+            blocks.append(block.tocsr())
+        with self._lock:
+            self._streamed += 1
+        if len(blocks) == 1:
+            return blocks[0]
+        return sp.vstack(blocks, format="csr")
+
+    @staticmethod
+    def _matrix_bytes(matrix):
+        return (
+            matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        )
+
+    def _cached_bytes_locked(self):
+        """Resident cache bytes: CSR buffers plus derived vectors."""
+        total = 0
+        for matrix in self._cache.values():
+            total += self._matrix_bytes(matrix)
+        for store in (self._column_norms, self._diagonals):
+            for vector in store.values():
+                total += vector.nbytes
+        return total
+
+    def _drop_lru_locked(self):
+        """Evict the least-recently-used matrix *with* its derived state.
+
+        A norm/diagonal vector is only meaningful alongside the matrix
+        it was reduced from — an orphaned vector can never be patched by
+        delta maintenance and must never be served — so eviction drops
+        the three stores as one unit, keyed by the evicted plan.
+        Returns the bytes freed.
+        """
+        plan, matrix = self._cache.popitem(last=False)
+        freed = self._matrix_bytes(matrix)
+        for store in (self._column_norms, self._diagonals):
+            vector = store.pop(plan, None)
+            if vector is not None:
+                freed += vector.nbytes
+        return freed
+
     def _evict(self):
-        if self._max_cached is None:
-            return
-        while len(self._cache) > self._max_cached:
-            evicted, _ = self._cache.popitem(last=False)
-            self._column_norms.pop(evicted, None)
-            self._diagonals.pop(evicted, None)
-        while len(self._column_norms) > self._max_cached:
-            self._column_norms.popitem(last=False)
-        while len(self._diagonals) > self._max_cached:
-            self._diagonals.popitem(last=False)
+        if self._max_cached is not None:
+            while len(self._cache) > self._max_cached:
+                self._drop_lru_locked()
+        if self._memory_budget is not None:
+            used = self._cached_bytes_locked()
+            while used > self._memory_budget and self._cache:
+                used -= self._drop_lru_locked()
+                # Includes the just-published entry when it alone busts
+                # the budget: the caller keeps the returned matrix, the
+                # cache does not — the next use recomputes ("spill").
+                self._spilled += 1
+        # Coherence sweep: the publish paths only store a derived vector
+        # alongside its cached matrix, so the stores can never outgrow
+        # the matrix cache — unless an orphan slipped in through an
+        # older snapshot or a bug.  Historically this trimmed the
+        # derived stores by their *own* LRU order, which could pop a
+        # live matrix's vectors while keeping the orphan; drop exactly
+        # the keys with no cached matrix instead.
+        if len(self._column_norms) > len(self._cache) or len(
+            self._diagonals
+        ) > len(self._cache):
+            for store in (self._column_norms, self._diagonals):
+                for plan in [key for key in store if key not in self._cache]:
+                    del store[plan]
 
     def column_norms(self, pattern):
         """Euclidean norm of each column of ``M_pattern`` (cached).
@@ -1193,6 +1380,23 @@ class CommutingMatrixEngine:
                     self._max_cached
                 )
             )
+        if self._memory_budget is not None:
+            # Same rule for the byte budget, by nnz estimate: "pre-load
+            # everything" and "stay under B bytes" are contradictory
+            # requests when the set cannot fit.
+            n = self._view.num_nodes()
+            estimated = sum(
+                estimate_bytes(self.compile(pattern), self._leaf_nnz, n)
+                for pattern in patterns
+            )
+            if estimated > self._memory_budget:
+                raise EvaluationError(
+                    "materializing {} simple patterns (~{:.0f} estimated "
+                    "bytes) exceeds memory_budget={}; raise the budget "
+                    "or materialize fewer patterns".format(
+                        len(patterns), estimated, self._memory_budget
+                    )
+                )
         self.matrices_many(patterns)
         with self._lock:
             return len(self._cache)
@@ -1210,8 +1414,13 @@ class CommutingMatrixEngine:
         nonzeros across cached matrices) and ``bytes`` (approximate
         resident bytes of matrices *and* derived vectors: CSR data +
         indices + indptr buffers plus norm/diagonal array buffers) —
-        and the delta-maintenance counters ``patched`` / ``invalidated``
-        / ``delta_applies``.
+        the byte-budget triple ``memory_budget`` (configured bytes or
+        None) / ``budget_used`` (same accounting as ``bytes``: what the
+        budget currently holds) / ``spilled`` (matrices computed but
+        evicted by the budget — each spill is a future recompute), the
+        ``streamed`` count of chain products evaluated in row blocks,
+        and the delta-maintenance counters ``patched`` /
+        ``invalidated`` / ``delta_applies``.
 
         The accounting is live: patched matrices report their
         post-patch buffers (cancelled entries are eliminated, never
@@ -1223,6 +1432,7 @@ class CommutingMatrixEngine:
             norm_vectors = list(self._column_norms.values())
             diagonal_vectors = list(self._diagonals.values())
             hits, misses = self._hits, self._misses
+            spilled, streamed = self._spilled, self._streamed
             patched, invalidated = self._patched, self._invalidated
             delta_applies = self._delta_applies
         nnz = 0
@@ -1247,6 +1457,10 @@ class CommutingMatrixEngine:
             "max_cached": self._max_cached,
             "nnz": int(nnz),
             "bytes": int(matrix_bytes + vector_bytes),
+            "memory_budget": self._memory_budget,
+            "budget_used": int(matrix_bytes + vector_bytes),
+            "spilled": spilled,
+            "streamed": streamed,
             "patched": patched,
             "invalidated": invalidated,
             "delta_applies": delta_applies,

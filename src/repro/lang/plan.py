@@ -327,10 +327,19 @@ class PlanCompiler:
 # ----------------------------------------------------------------------
 # Cost model
 # ----------------------------------------------------------------------
-def _product_nnz(nnz_a, nnz_b, n):
-    """Expected nnz of a sparse product under uniform sparsity."""
+def product_nnz(nnz_a, nnz_b, n):
+    """Expected nnz of a sparse product under uniform sparsity.
+
+    Shared with the engine's streaming chain executor, which uses it to
+    size row blocks from the widest prefix-product estimate.
+    """
     n = max(float(n), 1.0)
     return min(n * n, nnz_a * nnz_b / n)
+
+
+#: Backwards-compatible private alias (the DP below predates the public
+#: name).
+_product_nnz = product_nnz
 
 
 def _product_cost(nnz_a, nnz_b, n):
@@ -382,6 +391,20 @@ def estimate_nnz(node, leaf_nnz, n):
         raise ValueError("unknown plan node kind {!r}".format(kind))
     node.est_nnz = estimate
     return estimate
+
+
+def estimate_bytes(node, leaf_nnz, n):
+    """Estimated resident CSR bytes of a plan node's matrix.
+
+    The byte surrogate the memory budget plans against: ``nnz`` scaled
+    by data + index width (16 bytes — float64 data plus an index slot,
+    counting the 64-bit worst case) plus the ``indptr`` spine.  Built
+    on :func:`estimate_nnz`, so it is exact at the leaves and the
+    standard uniform-sparsity estimate above them — good enough to
+    decide "will this intermediate fit", which only needs the right
+    order of magnitude.
+    """
+    return 16.0 * estimate_nnz(node, leaf_nnz, n) + 8.0 * (float(n) + 1.0)
 
 
 def order_chain(node, leaf_nnz, n, compiler):

@@ -335,7 +335,7 @@ def test_serve_bench_with_delta_flags_serves_post_delta_snapshot(dblp_json):
             "--add-edge",
             "paper:0,p-in,proc:0",
             "--remove-edge",
-            "paper:0,p-in,proc:2",
+            "paper:0,p-in,proc:17",
         ]
     )
     assert code == 0
@@ -381,7 +381,7 @@ def test_explain_with_delta_flags_plans_post_delta_snapshot(dblp_json):
             "--pattern",
             "p-in.p-in-",
             "--add-edge",
-            "paper:1,p-in,proc:2",
+            "paper:1,p-in,proc:3",
         ]
     )
     assert baseline_code == 0 and code == 0

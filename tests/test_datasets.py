@@ -203,3 +203,157 @@ def test_zipf_choice_prefers_head():
     picks = [gen.zipf_choice(items, exponent=1.5) for _ in range(300)]
     head = sum(1 for p in picks if p < 5)
     assert head > 150
+
+
+# ----------------------------------------------------------------------
+# zipf_sample rewrite (cumulative-weight bisect) and bundle versioning
+# ----------------------------------------------------------------------
+def test_zipf_sample_deterministic_per_seed():
+    items = list(range(500))
+    first = SeededGenerator(11).zipf_sample(items, 40)
+    second = SeededGenerator(11).zipf_sample(items, 40)
+    third = SeededGenerator(12).zipf_sample(items, 40)
+    assert first == second
+    assert first != third
+
+
+def test_zipf_sample_scales_to_large_pools():
+    # Regression for the O(count * |pool|) rebuild-the-weights path:
+    # the rejection/bisect implementation must handle a 200k pool
+    # without materializing per-draw weight lists.  (The old path took
+    # minutes here; any pathological slowdown will trip the suite's
+    # global duration budget.)
+    items = list(range(200_000))
+    sample = SeededGenerator(3).zipf_sample(items, 500)
+    assert len(sample) == len(set(sample)) == 500
+
+
+def test_zipf_sample_dense_draw_uses_weighted_order():
+    # count close to the pool size exercises the without-replacement
+    # fallback; the head must still be over-represented early.
+    items = list(range(40))
+    sample = SeededGenerator(5).zipf_sample(items, 30, exponent=1.5)
+    assert len(sample) == len(set(sample)) == 30
+    head_positions = [sample.index(i) for i in range(5) if i in sample]
+    assert head_positions and min(head_positions) < 5
+
+
+def test_zipf_choice_matches_cumulative_bisect():
+    import bisect as _bisect
+    import itertools as _itertools
+    import random as _random
+
+    items = list(range(64))
+    gen = SeededGenerator(9)
+    mirror = _random.Random(9)
+    weights = [1.0 / (rank**1.2) for rank in range(1, 65)]
+    cumulative = list(_itertools.accumulate(weights))
+    for _ in range(200):
+        pick = gen.zipf_choice(items, exponent=1.2)
+        draw = mirror.random() * cumulative[-1]
+        expected = min(
+            _bisect.bisect_right(cumulative, draw), len(items) - 1
+        )
+        assert pick == items[expected]
+
+
+def test_bundles_stamp_bundle_version():
+    from repro.datasets import BUNDLE_VERSION
+
+    assert BUNDLE_VERSION == 2
+    for factory in (generate_dblp, generate_wsu, generate_mas):
+        assert factory(seed=1).info["bundle_version"] == BUNDLE_VERSION
+
+
+# ----------------------------------------------------------------------
+# Scale generator
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def scale_bundle():
+    from repro.datasets import generate_dblp_scale
+
+    return generate_dblp_scale(5000, seed=4)
+
+
+def test_scale_generator_deterministic(scale_bundle):
+    from repro.datasets import generate_dblp_scale
+
+    again = generate_dblp_scale(5000, seed=4)
+    assert again.database.same_content(scale_bundle.database)
+    assert again.info == scale_bundle.info
+    other = generate_dblp_scale(5000, seed=5)
+    assert not other.database.same_content(scale_bundle.database)
+
+
+def test_scale_generator_edge_count_near_target(scale_bundle):
+    realized = scale_bundle.database.num_edges()
+    assert scale_bundle.info["num_edges"] == realized
+    # Author draws dedup under set semantics and the last author
+    # cohort rounds up, so the realized count lands within 10% of the
+    # target on either side.
+    assert 0.9 * 5000 <= realized <= 1.1 * 5000
+
+
+def test_scale_generator_rejects_tiny_budget():
+    from repro.datasets import generate_dblp_scale
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        generate_dblp_scale(50)
+
+
+def test_scale_generator_schema_conformance(scale_bundle):
+    database = scale_bundle.database
+    for source, label, target in database.edges():
+        if label == "p-in":
+            assert database.node_type(source) == "paper"
+            assert database.node_type(target) == "proc"
+        elif label == "r-a":
+            assert database.node_type(source) == "paper"
+            assert database.node_type(target) == "area"
+        elif label == "w":
+            assert database.node_type(source) == "author"
+            assert database.node_type(target) == "paper"
+        else:
+            raise AssertionError("unexpected label {}".format(label))
+
+
+def test_scale_generator_papers_inherit_proc_areas(scale_bundle):
+    # The DBLP structural constraint the paper's transformations rely
+    # on: a paper's research areas are exactly its proceedings' areas —
+    # so any two papers of the same proceedings share one area set.
+    database = scale_bundle.database
+    paper_areas = {
+        paper: frozenset(targets)
+        for paper, targets in database.adjacency_lists("r-a")
+    }
+    seen_per_proc = {}
+    for paper, procs in database.adjacency_lists("p-in"):
+        (proc,) = procs
+        areas = paper_areas[paper]
+        assert areas  # every venue drew at least one area
+        expected = seen_per_proc.setdefault(proc, areas)
+        assert areas == expected, proc
+    assert len(seen_per_proc) > 1
+
+
+def test_scale_generator_suggested_queries(scale_bundle):
+    database = scale_bundle.database
+    suggested = scale_bundle.info["suggested_queries"]
+    assert suggested
+    for node in suggested[:10]:
+        assert database.node_type(node) == "paper"
+        assert database.degree(node) >= 1
+
+
+def test_scale_generator_skewed_venues(scale_bundle):
+    # Zipf venue popularity: the most popular venue holds several times
+    # its fair share of papers.
+    database = scale_bundle.database
+    counts = {}
+    for _, targets in database.adjacency_lists("p-in"):
+        for proc in targets:
+            counts[proc] = counts.get(proc, 0) + 1
+    # The default exponent is deliberately mild (see scale.py), but
+    # the head venue must still clearly out-draw the tail.
+    assert max(counts.values()) > 1.5 * min(counts.values())

@@ -175,3 +175,41 @@ def test_self_loop_allowed(db):
     db.add_edge(1, "a", 1)
     assert db.has_edge(1, "a", 1)
     assert db.degree(1) == 2
+
+
+# ----------------------------------------------------------------------
+# Bulk construction (the scale-generator path)
+# ----------------------------------------------------------------------
+def test_add_edges_bulk_matches_add_edge(db):
+    pairs = [(1, 2), (1, 3), (2, 3), (1, 2), (3, 3)]
+    added = db.add_edges_bulk("a", pairs)
+    assert added == 4  # (1, 2) deduplicated by set semantics
+    reference = GraphDatabase(Schema(["a", "b"]))
+    for source, target in pairs:
+        reference.add_edge(source, "a", target)
+    assert db.same_content(reference)
+    assert db.num_edges() == reference.num_edges()
+
+
+def test_add_edges_bulk_unknown_label(db):
+    with pytest.raises(UnknownLabelError):
+        db.add_edges_bulk("nope", [(1, 2)])
+    assert db.num_edges() == 0
+
+
+def test_add_edges_bulk_counts_only_new(db):
+    db.add_edge(1, "a", 2)
+    assert db.add_edges_bulk("a", [(1, 2), (2, 1)]) == 1
+    assert db.num_edges() == 2
+
+
+def test_adjacency_lists_cover_edges(db):
+    db.add_edges([(1, "a", 2), (1, "a", 3), (2, "a", 1), (1, "b", 2)])
+    flattened = {
+        (source, target)
+        for source, targets in db.adjacency_lists("a")
+        for target in targets
+    }
+    assert flattened == {(1, 2), (1, 3), (2, 1)}
+    with pytest.raises(UnknownLabelError):
+        db.adjacency_lists("nope")

@@ -115,3 +115,48 @@ def test_column_normalize_columns_sum_to_one():
     cols = np.asarray(normalized.sum(axis=0)).ravel()
     assert cols[0] == pytest.approx(1.0)
     assert cols[1] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Vectorized _build parity (referenced from MatrixView._build)
+# ----------------------------------------------------------------------
+def _reference_build(database, indexer, label):
+    """The historical per-edge loop, kept as the parity oracle."""
+    rows, cols = [], []
+    for source, _, target in database.edges(label):
+        if source in indexer and target in indexer:
+            rows.append(indexer.index_of(source))
+            cols.append(indexer.index_of(target))
+    n = len(indexer)
+    data = np.ones(len(rows), dtype=np.float64)
+    matrix = sp.csr_matrix(
+        (data, (rows, cols)), shape=(n, n), dtype=np.float64
+    )
+    matrix.sum_duplicates()
+    return matrix
+
+
+def test_build_matches_per_edge_loop(tiny_db, dblp_small):
+    for database in (tiny_db, dblp_small.database):
+        view = MatrixView(database)
+        for label in sorted(database.used_labels()):
+            built = view.adjacency(label)
+            expected = _reference_build(database, view.indexer, label)
+            assert np.array_equal(built.indptr, expected.indptr), label
+            assert np.array_equal(built.indices, expected.indices), label
+            assert np.array_equal(built.data, expected.data), label
+
+
+def test_build_matches_per_edge_loop_shared_indexer(tiny_db, tiny_schema):
+    # Shared-indexer case: the database has nodes the view's ordering
+    # lacks; the bulk path must skip them exactly like the old loop.
+    indexer = NodeIndexer(tiny_db.nodes())
+    bigger = tiny_db.copy()
+    bigger.add_edges([(99, "a", 1), (1, "a", 98), (99, "b", 98)])
+    view = MatrixView(bigger, indexer=indexer)
+    for label in sorted(bigger.used_labels()):
+        built = view.adjacency(label)
+        expected = _reference_build(bigger, indexer, label)
+        assert np.array_equal(built.indptr, expected.indptr), label
+        assert np.array_equal(built.indices, expected.indices), label
+        assert np.array_equal(built.data, expected.data), label

@@ -174,3 +174,28 @@ def test_materialize_under_cache_cap_succeeds(tiny_db):
         max_length=2, labels=["a", "b"]
     )
     assert cached >= 20
+
+
+def test_evict_drops_orphaned_derived_state_only(tiny_db):
+    # Regression: the old eviction trimmed the norm/diagonal stores by
+    # their *own* LRU order whenever they outgrew the matrix cache,
+    # which could pop a live matrix's vectors while keeping an orphan.
+    # The rewrite drops exactly the keys with no cached matrix.
+    engine = CommutingMatrixEngine(tiny_db)
+    engine.matrix(parse_pattern("a"))
+    engine.column_norms(parse_pattern("a"))
+    engine.diagonal(parse_pattern("a"))
+    engine.matrix(parse_pattern("b"))
+    engine.column_norms(parse_pattern("b"))
+    pa = engine.compile(parse_pattern("a"))
+    pb = engine.compile(parse_pattern("b"))
+    ghost = engine.compile(parse_pattern("c"))
+    with engine._lock:
+        # Simulate an orphan slipping in (older snapshot / bug): a norm
+        # vector with no matrix, *older* in the store than pb's.
+        engine._column_norms[ghost] = engine._column_norms[pb]
+        engine._column_norms.move_to_end(pb)
+        engine._evict()
+        assert ghost not in engine._column_norms
+        assert pa in engine._column_norms and pb in engine._column_norms
+        assert pa in engine._diagonals
